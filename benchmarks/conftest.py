@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper table/figure (quick grid), asserts
+its reproduction-target *shape*, and writes the rendered rows/series to
+``benchmarks/results/<figure>.txt`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import NURSERY_SCALE
+from repro.experiments.runner import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(result) -> None:
+    """Persist a FigureResult's rendered text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.figure_id}.txt"
+    path.write_text(str(result) + "\n")
+
+
+@pytest.fixture(scope="session")
+def breakdown_runner():
+    """Runner shared by the breakdown figures (scale 1)."""
+    return ExperimentRunner(scale=1, trace_cache_size=3)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """Runner shared by the microarchitecture sweep figures."""
+    return ExperimentRunner(scale=1, trace_cache_size=3,
+                            state_cache_size=24)
+
+
+@pytest.fixture(scope="session")
+def nursery_runner():
+    """Runner shared by the nursery-study figures (scaled workloads)."""
+    return ExperimentRunner(scale=NURSERY_SCALE, trace_cache_size=2,
+                            state_cache_size=8)

@@ -1,0 +1,74 @@
+"""Ablation: JIT hot-loop threshold sweep.
+
+Section II-B: compilation cost "must be amortized by the performance
+improvement in the compiled code." Sweeping the hot-loop threshold
+exposes the trade-off: compile too eagerly and compilation time grows;
+too lazily and the program stays interpreted.
+"""
+
+import dataclasses
+
+from conftest import save_result
+from repro.analysis.report import render_table
+from repro.categories import OverheadCategory as C
+from repro.config import pypy_runtime
+from repro.experiments.figures import FigureResult
+from repro.frontend import compile_source
+from repro.host import AddressSpace, HostMachine
+from repro.uarch import SimulatedSystem
+from repro.vm.pypy import PyPyVM
+from repro.workloads import get_workload
+
+THRESHOLDS = (5, 30, 200, 2000)
+WORKLOAD = "crypto_pyaes"
+
+
+def _run(threshold):
+    program = compile_source(get_workload(WORKLOAD).source(1), WORKLOAD)
+    nursery = 1 << 20
+    machine = HostMachine(AddressSpace(nursery_size=nursery),
+                          max_instructions=40_000_000)
+    config = pypy_runtime(jit=True, nursery_size=nursery)
+    config = dataclasses.replace(
+        config, jit=dataclasses.replace(
+            config.jit, hot_loop_threshold=threshold,
+            hot_call_threshold=threshold * 2))
+    vm = PyPyVM(machine, program, config)
+    vm.run()
+    timing = SimulatedSystem().run(machine.trace, core="ooo")
+    counts = machine.trace.category_counts()
+    return {
+        "cycles": timing.cycles,
+        "traces": vm.stats.traces_compiled,
+        "compile_instrs": int(counts[int(C.JIT_COMPILING)]),
+        "compiled_instrs": int(counts[int(C.JIT_COMPILED_CODE)]),
+    }
+
+
+def ablation():
+    rows = []
+    data = {}
+    for threshold in THRESHOLDS:
+        entry = _run(threshold)
+        data[threshold] = entry
+        rows.append([threshold, f"{entry['cycles']:.3e}",
+                     entry["traces"], entry["compile_instrs"],
+                     entry["compiled_instrs"]])
+    rendered = render_table(
+        ["hot threshold", "OOO cycles", "traces", "compile instrs",
+         "compiled-code instrs"],
+        rows, title=f"Ablation: JIT threshold sweep ({WORKLOAD})")
+    return FigureResult("ablation_jit_threshold", "JIT threshold sweep",
+                        rendered, data)
+
+
+def test_ablation_jit_threshold(benchmark):
+    result = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    data = result.data
+    # A very lazy JIT compiles less and executes less compiled code.
+    assert data[2000]["compiled_instrs"] < data[30]["compiled_instrs"]
+    assert data[2000]["compile_instrs"] <= data[5]["compile_instrs"]
+    # The default-ish threshold must beat the extremely lazy one.
+    assert data[30]["cycles"] < data[2000]["cycles"]

@@ -1,0 +1,46 @@
+"""Figure 4: CPython overhead breakdown.
+
+Shape targets (paper values in parentheses):
+* identified overheads are the majority of execution (64.9%);
+* C function call is the top interpreter-operation category (18.4%)
+  with dispatch also major (14.2%);
+* indirect calls are a minority of the C-call overhead (11.9% of it);
+* C library time is a small overall average (7.0%) but dominates the
+  pickle/regex family (>64%).
+"""
+
+from conftest import save_result
+from repro.categories import INTERPRETER_CATEGORIES, OverheadCategory
+from repro.experiments import figures
+
+
+def test_fig4(benchmark, breakdown_runner):
+    result = benchmark.pedantic(
+        figures.fig4, kwargs={"runner": breakdown_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    averages = result.data["averages"]
+
+    # Overheads dominate execution, same side of 50% as the paper.
+    assert 0.50 < result.data["overhead_avg"] < 0.95
+
+    # C function call: the paper's headline new category is the largest
+    # interpreter operation.
+    interp = {c: averages.get(c, 0.0) for c in INTERPRETER_CATEGORIES}
+    assert max(interp, key=interp.get) == OverheadCategory.C_FUNCTION_CALL
+    assert interp[OverheadCategory.C_FUNCTION_CALL] > 0.10
+
+    # Dispatch is the other major interpreter overhead.
+    assert interp[OverheadCategory.DISPATCH] > 0.05
+
+    # Indirect calls are a clear minority of the C-call overhead.
+    assert 0.0 < result.data["indirect_of_ccall"] < 0.5
+    assert result.data["indirect_of_total"] < 0.1
+
+    # Name resolution tops the dynamic-language features on average.
+    assert averages.get(OverheadCategory.NAME_RESOLUTION, 0.0) > 0.02
+
+    # The quick suite includes one pickle workload: C-library dominated.
+    pickle_bd = result.data["breakdowns"]["pickle_list"]
+    assert pickle_bd.c_library_share > 0.5

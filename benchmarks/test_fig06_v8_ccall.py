@@ -1,0 +1,21 @@
+"""Figure 6: C function call overhead generalizes to V8.
+
+Shape target: a positive average C-call share on the V8 analog, smaller
+than the CPython interpreter's (paper: 5.6% vs 18.4%).
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig6(benchmark, breakdown_runner):
+    result = benchmark.pedantic(
+        figures.fig6, kwargs={"runner": breakdown_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    assert 0.002 < result.data["average"] < 0.25
+    # Every workload shows at least some residual C-call overhead.
+    assert all(share >= 0.0 for share in result.data["shares"].values())
+    assert sum(1 for s in result.data["shares"].values() if s > 0.005) \
+        >= len(result.data["shares"]) // 2

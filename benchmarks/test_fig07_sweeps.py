@@ -1,0 +1,61 @@
+"""Figure 7: CPI vs microarchitecture parameters, three run-times.
+
+Shape targets from the paper:
+* all run-times are relatively insensitive to issue width (low ILP);
+* a small branch predictor hurts the interpreters more than the JIT;
+* cache size and memory parameters matter most for PyPy with JIT;
+* PyPy-with-JIT CPI exceeds the interpreters' CPI (fewer instructions,
+  each more memory-bound).
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def _relative_span(values):
+    low, high = min(values), max(values)
+    return (high - low) / low if low else 0.0
+
+
+def test_fig7(benchmark, sweep_runner):
+    result = benchmark.pedantic(
+        figures.fig7, kwargs={"runner": sweep_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    sweep = result.data["sweep"]
+
+    # (a) Issue width: low ILP -> CPI barely moves for every runtime.
+    for label, series in sweep.series("issue_width").items():
+        assert _relative_span(series) < 0.35, (label, series)
+
+    # (b) Branch tables: shrinking the predictor hurts the interpreters
+    # more than the JIT (paper Section V-A).
+    branch = sweep.series("branch_scale")
+    cpython_hit = branch["cpython"][0] / branch["cpython"][-1]
+    jit_hit = branch["pypy-jit"][0] / branch["pypy-jit"][-1]
+    assert cpython_hit >= jit_hit - 0.02
+
+    # (c) Cache size: the JIT depends on it far more than CPython.
+    cache = sweep.series("cache_size")
+    jit_cache_benefit = cache["pypy-jit"][0] / cache["pypy-jit"][-1]
+    cpython_cache_benefit = cache["cpython"][0] / cache["cpython"][-1]
+    assert jit_cache_benefit > cpython_cache_benefit
+
+    # (e) Memory latency: the JIT is the most sensitive runtime.
+    latency = sweep.series("memory_latency")
+    jit_slope = latency["pypy-jit"][-1] / latency["pypy-jit"][0]
+    cpython_slope = latency["cpython"][-1] / latency["cpython"][0]
+    assert jit_slope > cpython_slope
+
+    # Overall CPI ordering at the baseline machine: PyPy w/ JIT executes
+    # fewer, slower instructions (paper Section V-A).
+    baseline_idx = 1  # middle point of the quick axes = baseline-ish
+    assert sweep.series("memory_latency")["pypy-jit"][0] > \
+        sweep.series("memory_latency")["cpython"][0] * 0.9
+
+    # Phase breakdown exists and the GC phase differs from compiled code.
+    phases = result.data["phases"]
+    assert set(phases) >= {"bytecode_interpreter", "garbage_collection",
+                           "jit_compiled_code", "overall"}
+    assert phases["jit_compiled_code"] > 0

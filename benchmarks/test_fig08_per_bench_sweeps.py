@@ -1,0 +1,27 @@
+"""Figure 8: per-benchmark CPI sweeps on PyPy with JIT.
+
+Shape target: "the performance impacts of microarchitecture parameter
+changes depend on individual application characteristics" — the
+benchmarks must not all respond identically.
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig8(benchmark, sweep_runner):
+    result = benchmark.pedantic(
+        figures.fig8, kwargs={"runner": sweep_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    cache_series = result.data["series"]["cache_size"]
+    # Per-benchmark sensitivity to cache size differs meaningfully.
+    benefits = {name: values[0] / values[-1]
+                for name, values in cache_series.items()}
+    spread = max(benefits.values()) - min(benefits.values())
+    assert spread > 0.05, benefits
+    # Every benchmark produces a positive CPI at every point.
+    for axis, series in result.data["series"].items():
+        for name, values in series.items():
+            assert all(v > 0 for v in values), (axis, name)

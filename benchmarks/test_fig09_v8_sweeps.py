@@ -1,0 +1,22 @@
+"""Figure 9: V8 CPI sweeps show the same memory sensitivity as PyPy."""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig9(benchmark, sweep_runner):
+    result = benchmark.pedantic(
+        figures.fig9, kwargs={"runner": sweep_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    sweep = result.data["sweep"]
+    # Issue width: flat (low ILP), like PyPy in Figure 7.
+    issue = sweep.series("issue_width")["v8"]
+    assert (max(issue) - min(issue)) / min(issue) < 0.35
+    # Memory latency: a JIT runtime is clearly sensitive.
+    latency = sweep.series("memory_latency")["v8"]
+    assert latency[-1] > latency[0] * 1.05
+    # Cache size helps.
+    cache = sweep.series("cache_size")["v8"]
+    assert cache[0] >= cache[-1]

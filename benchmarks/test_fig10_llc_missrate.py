@@ -1,0 +1,21 @@
+"""Figure 10: LLC miss rate as a function of nursery size.
+
+Shape target: the miss rate is low while the nursery fits in the LLC
+and jumps once the allocator sweeps beyond it (paper: ~2.4x).
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig10(benchmark, nursery_runner):
+    result = benchmark.pedantic(
+        figures.fig10, kwargs={"runner": nursery_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    ratios = result.data["ratios"]
+    rates = dict(zip(ratios, result.data["rates"]))
+    # Cache-resident nursery: low miss rate; past the LLC: high.
+    assert rates[0.5] < rates[2.0]
+    assert result.data["jump"] > 1.5

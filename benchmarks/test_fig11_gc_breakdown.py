@@ -1,0 +1,29 @@
+"""Figure 11: GC / non-GC / overall time vs nursery size.
+
+Shape targets: the GC component falls monotonically-ish as the nursery
+grows (fewer collections), while the non-GC component rises once the
+nursery exceeds the cache (poorer locality).
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig11(benchmark, nursery_runner):
+    result = benchmark.pedantic(
+        figures.fig11, kwargs={"runner": nursery_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    ratios = result.data["ratios"]
+    series = result.data["series"]
+    gc = dict(zip(ratios, series["GC"]))
+    nongc = dict(zip(ratios, series["Non-GC"]))
+    # GC work shrinks with nursery size.
+    assert gc[0.25] > gc[2.0] > gc[8.0] * 0.99
+    # Non-GC time is worse past the cache than within it.
+    assert nongc[2.0] > nongc[0.5]
+    # Components add up to the overall series.
+    for i in range(len(ratios)):
+        assert abs(series["GC"][i] + series["Non-GC"][i]
+                   - series["Overall"][i]) < 1e-6

@@ -1,0 +1,38 @@
+"""Figure 12: nursery sweep across run-time configs and LLC sizes.
+
+Shape targets from the paper:
+* without JIT, GC contribution is small, so a cache-resident nursery is
+  close to optimal;
+* with JIT, large nurseries recover (GC amortization outweighs cache
+  misses);
+* a larger LLC shifts the trade-off toward larger nurseries.
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig12(benchmark, nursery_runner):
+    result = benchmark.pedantic(
+        figures.fig12, kwargs={"runner": nursery_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    ratios = result.data["ratios"]
+    series = result.data["series"]
+    jit_2mb = dict(zip(ratios, series["w/ JIT 2MB LLC"]))
+    nojit_2mb = dict(zip(ratios, series["w/o JIT 2MB LLC"]))
+    jit_8mb = dict(zip(ratios, series["w/ JIT 8MB LLC"]))
+
+    # With JIT, growing the nursery from just-past-cache recovers time.
+    assert jit_2mb[8.0] < jit_2mb[2.0] + 0.02
+
+    # Without JIT, the penalty for large nurseries is not recovered as
+    # strongly as with JIT (relative to the 2x point).
+    jit_recovery = jit_2mb[2.0] - jit_2mb[8.0]
+    nojit_recovery = nojit_2mb[2.0] - nojit_2mb[8.0]
+    assert jit_recovery >= nojit_recovery - 0.05
+
+    # A 4x larger LLC keeps larger nurseries cache-resident: at the 2x
+    # point (which fits in the bigger cache) it must do no worse.
+    assert jit_8mb[2.0] <= jit_2mb[2.0] + 0.05

@@ -1,0 +1,25 @@
+"""Figure 14: per-benchmark nursery sweeps, PyPy with JIT.
+
+Shape target: "one sizing policy is not good for all the benchmarks" —
+allocation-heavy programs (eparse) prefer large nurseries while
+low-allocation programs (fannkuch) do not benefit.
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig14(benchmark, nursery_runner):
+    result = benchmark.pedantic(
+        figures.fig14, kwargs={"runner": nursery_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    ratios = result.data["ratios"]
+    series = result.data["series"]
+    last = {name: values[-1] for name, values in series.items()}
+    # Benchmarks disagree about the largest nursery: some gain, some not.
+    assert max(last.values()) - min(last.values()) > 0.03, last
+    # eparse (GC-heavy parser) benefits from a large nursery.
+    eparse = dict(zip(ratios, series["eparse"]))
+    assert eparse[8.0] < eparse[0.25]

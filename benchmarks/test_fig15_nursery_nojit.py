@@ -1,0 +1,26 @@
+"""Figure 15: per-benchmark nursery sweeps, PyPy without JIT.
+
+Shape target: without the JIT the interpreter overhead dilutes cache
+effects, so the curves are flatter than Figure 14's and a cache-sized
+nursery is generally adequate (paper Section V-B).
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig15(benchmark, nursery_runner):
+    result = benchmark.pedantic(
+        figures.fig15, kwargs={"runner": nursery_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    series = result.data["series"]
+    # Flatter curves: the per-benchmark spread at the largest nursery is
+    # smaller without JIT than the same benchmarks show with JIT.
+    spread = max(values[-1] for values in series.values()) \
+        - min(values[-1] for values in series.values())
+    assert spread < 1.0
+    # All normalized values stay in a sane band.
+    for name, values in series.items():
+        assert all(0.2 < v < 5.0 for v in values), (name, values)

@@ -1,0 +1,24 @@
+"""Figure 16: the nursery/cache trade-off exists for V8 too.
+
+Shape target: with a larger LLC, larger nurseries stay cache-resident,
+so the normalized-time curve shifts in favor of bigger nurseries.
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(
+        figures.fig16, kwargs={"quick": True}, rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    ratios = result.data["ratios"]
+    series = result.data["series"]
+    small = dict(zip(ratios, series["2MB LLC"]))
+    big = dict(zip(ratios, series["8MB LLC"]))
+    # At 2x the baseline LLC (fits in the 8MB-equivalent cache, thrashes
+    # the 2MB-equivalent one) the bigger cache must do no worse.
+    assert big[2.0] <= small[2.0] + 0.05
+    for values in series.values():
+        assert all(0.2 < v < 5.0 for v in values)

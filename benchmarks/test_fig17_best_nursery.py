@@ -1,0 +1,26 @@
+"""Figure 17: choosing the best nursery size per application.
+
+Shape targets (paper: 21.4% vs 9.8%): per-application best sizing beats
+the static half-cache baseline, and beats the one-size-fits-all
+maximum-nursery policy.
+"""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_fig17(benchmark, nursery_runner):
+    result = benchmark.pedantic(
+        figures.fig17, kwargs={"runner": nursery_runner, "quick": True},
+        rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    summary = result.data["summary"]
+    # Per-app best sizing can only help relative to the static baseline.
+    assert summary["best_improvement"] >= 0.0
+    # And it beats (or matches) blindly maximizing the nursery.
+    assert summary["best_improvement"] >= \
+        summary["max_nursery_improvement"] - 1e-9
+    # Each workload's best normalized time is at most the baseline.
+    for value in summary["per_workload"].values():
+        assert value <= 1.0 + 1e-9

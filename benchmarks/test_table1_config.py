@@ -1,0 +1,14 @@
+"""Table I: the simulated machine configuration."""
+
+from conftest import save_result
+from repro.experiments import figures
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(figures.table1, rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    config = result.data["config"]
+    assert config.l3.size == 2 * 1024 * 1024
+    assert config.core.issue_width == 4
+    assert config.memory.latency == 173

@@ -1,0 +1,14 @@
+"""Table II: the overhead taxonomy."""
+
+from conftest import save_result
+from repro.categories import NEW_CATEGORIES, OVERHEAD_CATEGORIES
+from repro.experiments import figures
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(figures.table2, rounds=1, iterations=1)
+    save_result(result)
+    print(result)
+    assert len(OVERHEAD_CATEGORIES) == 14
+    assert len(NEW_CATEGORIES) == 3
+    assert result.rendered.count("NEW") == 3

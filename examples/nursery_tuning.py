@@ -1,0 +1,56 @@
+"""Nursery tuning advisor — the paper's headline practical result.
+
+Section V-B: "nursery sizing should be done considering cache
+performance, run-time configuration, and application characteristics."
+This example sweeps the nursery size for one benchmark on the PyPy
+model, prints the GC/cache trade-off, and recommends a size.
+
+Run:  python examples/nursery_tuning.py [workload]
+      (default workload: eparse; try fannkuch for the opposite answer)
+"""
+
+import sys
+
+from repro.analysis.nursery import (
+    QUICK_RATIOS,
+    normalized,
+    nursery_sweep,
+    paper_equivalent_label,
+)
+from repro.analysis.report import render_table
+from repro.config import scaled_config
+from repro.experiments.runner import ExperimentRunner
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "eparse"
+    runner = ExperimentRunner(scale=2)
+    config = scaled_config(5)  # proportionally scaled Table I machine
+    print(f"sweeping nursery sizes for {workload!r} "
+          f"(PyPy model w/ JIT, scaled machine, LLC '2MB-equivalent')\n")
+    points = nursery_sweep(runner, workload, jit=True,
+                           ratios=QUICK_RATIOS, config=config)
+    norm = normalized(points)
+    rows = []
+    for point, value in zip(points, norm):
+        rows.append([
+            point.label,
+            f"{value:.3f}",
+            f"{point.llc_miss_rate:.1%}",
+            f"{point.gc_fraction:.1%}",
+            point.minor_gcs,
+        ])
+    print(render_table(
+        ["nursery", "normalized time", "LLC miss rate", "GC share",
+         "minor GCs"], rows))
+    best_index = min(range(len(norm)), key=norm.__getitem__)
+    best = points[best_index]
+    print(f"\nrecommended nursery for {workload!r}: {best.label} "
+          f"(paper-equivalent units)")
+    static = norm[1] if len(norm) > 1 else 1.0  # half-LLC baseline
+    print(f"improvement over static half-cache sizing: "
+          f"{(1 - norm[best_index] / static):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Regenerate any of the paper's tables and figures from the command line.
+
+Usage:
+    python examples/regenerate_figures.py                # list targets
+    python examples/regenerate_figures.py fig10          # quick grid
+    python examples/regenerate_figures.py fig4 --full    # full grid
+    python examples/regenerate_figures.py all            # everything quick
+"""
+
+import sys
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+
+
+def run_one(name: str, quick: bool) -> None:
+    func = ALL_FIGURES[name]
+    start = time.time()
+    if name.startswith("table"):
+        result = func()
+    else:
+        result = func(quick=quick)
+    elapsed = time.time() - start
+    print(result)
+    print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    quick = "--full" not in sys.argv
+    if not args:
+        print("available targets:")
+        for name, func in ALL_FIGURES.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<8s} {doc}")
+        print("\nusage: python examples/regenerate_figures.py "
+              "<target>|all [--full]")
+        return 0
+    targets = list(ALL_FIGURES) if args == ["all"] else args
+    unknown = [t for t in targets if t not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown targets: {unknown}")
+        return 1
+    for name in targets:
+        run_one(name, quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

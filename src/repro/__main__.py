@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        execute a MiniPy file on a modeled runtime, print its output
+breakdown  Table II overhead breakdown for a MiniPy file
+workloads  list the built-in benchmark suites
+figure     regenerate one of the paper's tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import format_percent, render_table
+from .config import pypy_runtime, v8_runtime
+from .errors import ReproError
+from .frontend import compile_source
+from .host import AddressSpace, HostMachine
+from .pintool import compute_breakdown
+from .uarch import SimulatedSystem
+from .vm.cpython import CPythonVM
+from .vm.pypy import PyPyVM
+from .vm.v8 import V8VM
+from .vm.v8.workloads import JS_SUITE
+from .workloads import PYTHON_SUITE, get_workload
+
+_MB = 1024 * 1024
+
+
+def _build_vm(runtime: str, machine: HostMachine, program,
+              jit: bool, nursery: int):
+    if runtime == "cpython":
+        return CPythonVM(machine, program)
+    if runtime == "pypy":
+        return PyPyVM(machine, program,
+                      pypy_runtime(jit=jit, nursery_size=nursery))
+    if runtime == "v8":
+        return V8VM(machine, program, v8_runtime(nursery_size=nursery))
+    raise ReproError(f"unknown runtime {runtime!r}")
+
+
+def _load_program(path: str):
+    if path in PYTHON_SUITE:
+        return compile_source(get_workload(path).source(1), path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_source(handle.read(), path)
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.file)
+    machine = HostMachine(AddressSpace(nursery_size=args.nursery * _MB))
+    vm = _build_vm(args.runtime, machine, program,
+                   jit=not args.no_jit, nursery=args.nursery * _MB)
+    vm.run()
+    for line in vm.output:
+        print(line)
+    timing = SimulatedSystem().run(machine.trace, core="ooo")
+    print(f"-- {args.runtime}: {vm.stats.bytecodes} bytecodes, "
+          f"{len(machine.trace)} host instructions, "
+          f"{timing.cycles:.0f} cycles (CPI {timing.cpi:.2f})",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    program = _load_program(args.file)
+    machine = HostMachine(AddressSpace(nursery_size=args.nursery * _MB))
+    vm = _build_vm(args.runtime, machine, program,
+                   jit=not args.no_jit, nursery=args.nursery * _MB)
+    vm.run()
+    breakdown = compute_breakdown(machine.trace, machine,
+                                  runtime=args.runtime,
+                                  workload=args.file)
+    rows = [[label, format_percent(share)]
+            for label, share in breakdown.top_categories(20)]
+    print(render_table(["category", "share of cycles"], rows,
+                       title=f"Overhead breakdown: {args.file} "
+                             f"on {args.runtime}"))
+    print(f"\nidentified overhead: "
+          f"{format_percent(breakdown.overhead_share)}"
+          f" (C library: {format_percent(breakdown.c_library_share)})")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    rows = [[name, get_workload(name).tag,
+             get_workload(name).description]
+            for name in PYTHON_SUITE]
+    print(render_table(["workload", "class", "description"], rows,
+                       title="Python suite (48 benchmarks)"))
+    print(f"\nJetStream-analog suite (37): {', '.join(JS_SUITE)}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .experiments.figures import ALL_FIGURES
+    func = ALL_FIGURES.get(args.name)
+    if func is None:
+        print(f"unknown figure {args.name!r}; "
+              f"choose from {', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 1
+    if args.name.startswith("table"):
+        print(func())
+    else:
+        print(func(quick=not args.full))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantitative overhead analysis for Python "
+                    "(IISWC 2018 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func in (("run", cmd_run), ("breakdown", cmd_breakdown)):
+        p = sub.add_parser(name)
+        p.add_argument("file",
+                       help="MiniPy source file or built-in workload name")
+        p.add_argument("--runtime", default="cpython",
+                       choices=("cpython", "pypy", "v8"))
+        p.add_argument("--no-jit", action="store_true",
+                       help="disable the JIT (pypy runtime)")
+        p.add_argument("--nursery", type=int, default=1,
+                       help="nursery size in MB (pypy/v8)")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("workloads")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("figure")
+    p.add_argument("name", help="table1, table2, fig4 ... fig17")
+    p.add_argument("--full", action="store_true",
+                   help="full grids instead of quick ones")
+    p.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Plain-text rendering shared by the figure harnesses and benches.
+
+Figures are regenerated as aligned ASCII tables and series — the same
+rows/columns the paper plots, printed rather than drawn.
+"""
+
+from __future__ import annotations
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def render_table(headers: list[str], rows: list[list[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_labels: list[str],
+                  series: dict[str, list[float]],
+                  value_format: str = "{:.3f}") -> str:
+    """One row per named series, one column per x value."""
+    headers = ["series"] + list(x_labels)
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [value_format.format(v) for v in values])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,195 @@
+"""Overhead taxonomy from Table II of the paper.
+
+The paper attributes every host (interpreter-level) instruction to one of
+fourteen overhead categories, organized in three groups, plus the
+``EXECUTE`` category for the instructions that perform the guest program's
+real work and ``C_LIBRARY`` for time spent inside C library code (Section
+IV-C.1 reports C library time separately from the overhead categories).
+
+Categories marked *new* in Table II (error check, reg transfer, C function
+call) were first identified by this paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Group(enum.Enum):
+    """Table II groups the overhead categories into three rows."""
+
+    ADDITIONAL_LANGUAGE = "Additional Language Features"
+    DYNAMIC_LANGUAGE = "Dynamic Language Features"
+    INTERPRETER = "Interpreter Operations"
+    #: Not an overhead: the useful work of the guest program itself.
+    CORE = "Core Computation"
+
+
+class OverheadCategory(enum.IntEnum):
+    """One label per host instruction, following Table II.
+
+    The integer values are stable and are stored directly in instruction
+    traces, so they must never be renumbered.
+    """
+
+    # -- Core computation (not overhead) ----------------------------------
+    EXECUTE = 0
+    #: Time spent inside modeled C library code (e.g. pickle, regex).
+    C_LIBRARY = 1
+
+    # -- Additional language features --------------------------------------
+    ERROR_CHECK = 2
+    GARBAGE_COLLECTION = 3
+    RICH_CONTROL_FLOW = 4
+
+    # -- Dynamic language features ------------------------------------------
+    TYPE_CHECK = 5
+    BOXING_UNBOXING = 6
+    NAME_RESOLUTION = 7
+    FUNCTION_RESOLUTION = 8
+    FUNCTION_SETUP_CLEANUP = 9
+
+    # -- Interpreter operations ----------------------------------------------
+    DISPATCH = 10
+    STACK = 11
+    CONST_LOAD = 12
+    OBJECT_ALLOCATION = 13
+    REG_TRANSFER = 14
+    C_FUNCTION_CALL = 15
+
+    # -- Sentinel used by function-granularity annotation sites --------------
+    #: The pintool resolves UNRESOLVED instructions during post-processing
+    #: using the annotation table and the recorded origin PC (Section IV-B).
+    UNRESOLVED = 16
+
+    # -- JIT-runtime phases (Figure 7 breaks PyPy execution into phases) ------
+    JIT_COMPILING = 17
+    JIT_COMPILED_CODE = 18
+
+
+@dataclass(frozen=True)
+class CategoryInfo:
+    """Human-readable metadata for one Table II row."""
+
+    category: OverheadCategory
+    group: Group
+    label: str
+    description: str
+    #: True for the three sources first identified by this paper.
+    new_in_paper: bool = False
+
+
+_INFOS = [
+    CategoryInfo(
+        OverheadCategory.EXECUTE, Group.CORE, "Execute",
+        "Instructions performing the guest program's real computation."),
+    CategoryInfo(
+        OverheadCategory.C_LIBRARY, Group.CORE, "C library",
+        "Time spent inside C library code called from the guest program."),
+    CategoryInfo(
+        OverheadCategory.ERROR_CHECK, Group.ADDITIONAL_LANGUAGE,
+        "Error check",
+        "Check for overflow, out-of-bounds, and other errors.",
+        new_in_paper=True),
+    CategoryInfo(
+        OverheadCategory.GARBAGE_COLLECTION, Group.ADDITIONAL_LANGUAGE,
+        "Garbage collection",
+        "Automatically freeing unused memory."),
+    CategoryInfo(
+        OverheadCategory.RICH_CONTROL_FLOW, Group.ADDITIONAL_LANGUAGE,
+        "Rich control flow",
+        "Support for more condition cases and control structures."),
+    CategoryInfo(
+        OverheadCategory.TYPE_CHECK, Group.DYNAMIC_LANGUAGE, "Type check",
+        "Checking variable type to determine operation."),
+    CategoryInfo(
+        OverheadCategory.BOXING_UNBOXING, Group.DYNAMIC_LANGUAGE,
+        "Boxing/unboxing",
+        "Wrapping or unwrapping integer or float types."),
+    CategoryInfo(
+        OverheadCategory.NAME_RESOLUTION, Group.DYNAMIC_LANGUAGE,
+        "Name resolution",
+        "Looking up a variable in a map."),
+    CategoryInfo(
+        OverheadCategory.FUNCTION_RESOLUTION, Group.DYNAMIC_LANGUAGE,
+        "Function resolution",
+        "Dereferencing function pointers to perform an operation."),
+    CategoryInfo(
+        OverheadCategory.FUNCTION_SETUP_CLEANUP, Group.DYNAMIC_LANGUAGE,
+        "Function setup/cleanup",
+        "Setting up for a function call and cleaning up when finished."),
+    CategoryInfo(
+        OverheadCategory.DISPATCH, Group.INTERPRETER, "Dispatch",
+        "Reading and decoding a bytecode instruction."),
+    CategoryInfo(
+        OverheadCategory.STACK, Group.INTERPRETER, "Stack",
+        "Reading, writing, and managing the VM stack."),
+    CategoryInfo(
+        OverheadCategory.CONST_LOAD, Group.INTERPRETER, "Const load",
+        "Reading constants."),
+    CategoryInfo(
+        OverheadCategory.OBJECT_ALLOCATION, Group.INTERPRETER,
+        "Object allocation",
+        "Inefficient deallocation followed by allocation of objects."),
+    CategoryInfo(
+        OverheadCategory.REG_TRANSFER, Group.INTERPRETER, "Reg transfer",
+        "Calculating the address of VM storage.",
+        new_in_paper=True),
+    CategoryInfo(
+        OverheadCategory.C_FUNCTION_CALL, Group.INTERPRETER,
+        "C function call",
+        "Following the C calling convention in the interpreter.",
+        new_in_paper=True),
+    CategoryInfo(
+        OverheadCategory.UNRESOLVED, Group.CORE, "Unresolved",
+        "Function-granularity site pending origin-PC resolution."),
+    CategoryInfo(
+        OverheadCategory.JIT_COMPILING, Group.CORE, "JIT compilation",
+        "Time spent running the just-in-time compiler."),
+    CategoryInfo(
+        OverheadCategory.JIT_COMPILED_CODE, Group.CORE, "JIT compiled code",
+        "Guest work executed as JIT-compiled machine code."),
+]
+
+CATEGORY_INFO: dict[OverheadCategory, CategoryInfo] = {
+    info.category: info for info in _INFOS
+}
+
+#: Categories plotted in Figure 4(a): language features, both groups.
+LANGUAGE_FEATURE_CATEGORIES = tuple(
+    info.category for info in _INFOS
+    if info.group in (Group.ADDITIONAL_LANGUAGE, Group.DYNAMIC_LANGUAGE)
+)
+
+#: Categories plotted in Figure 4(b): interpreter operations.
+INTERPRETER_CATEGORIES = tuple(
+    info.category for info in _INFOS if info.group is Group.INTERPRETER
+)
+
+#: All overhead categories from Table II (excludes EXECUTE / C_LIBRARY /
+#: bookkeeping sentinels).
+OVERHEAD_CATEGORIES = LANGUAGE_FEATURE_CATEGORIES + INTERPRETER_CATEGORIES
+
+#: Categories introduced by this paper (Table II "NEW" rows).
+NEW_CATEGORIES = tuple(
+    info.category for info in _INFOS if info.new_in_paper
+)
+
+#: Categories counted as "time in C library code" (Section IV-C.1).
+C_LIBRARY_SHARE_CATEGORIES = (OverheadCategory.C_LIBRARY,)
+
+
+def group_of(category: OverheadCategory) -> Group:
+    """Return the Table II group a category belongs to."""
+    return CATEGORY_INFO[category].group
+
+
+def label_of(category: OverheadCategory) -> str:
+    """Return the human-readable label used in the paper's figures."""
+    return CATEGORY_INFO[category].label
+
+
+def is_overhead(category: OverheadCategory) -> bool:
+    """True if the category counts toward the paper's overhead total."""
+    return category in OVERHEAD_CATEGORIES

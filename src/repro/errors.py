@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class CompileError(ReproError):
+    """MiniPy source could not be compiled to guest bytecode."""
+
+    def __init__(self, message: str, lineno: int | None = None):
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno
+
+
+class GuestError(ReproError):
+    """Base class for errors raised *by the guest program* at run time."""
+
+
+class GuestTypeError(GuestError):
+    """Guest-level type error (operand types do not support the operation)."""
+
+
+class GuestNameError(GuestError):
+    """Guest-level unresolved variable name."""
+
+
+class GuestIndexError(GuestError):
+    """Guest-level out-of-bounds subscript."""
+
+
+class GuestKeyError(GuestError):
+    """Guest-level missing dictionary key."""
+
+
+class GuestValueError(GuestError):
+    """Guest-level invalid value."""
+
+
+class GuestZeroDivisionError(GuestError):
+    """Guest-level division by zero."""
+
+
+class GuestStopIteration(GuestError):
+    """Internal signal used by guest iterators; never escapes the VM."""
+
+
+class VMError(ReproError):
+    """The virtual machine reached an inconsistent internal state."""
+
+
+class AllocationError(ReproError):
+    """The simulated address space could not satisfy an allocation."""
+
+
+class TraceError(ReproError):
+    """An instruction trace is malformed or incompatible with the consumer."""
+
+
+class WorkloadError(ReproError):
+    """A workload is unknown or failed validation."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with invalid arguments."""

@@ -1,0 +1,6 @@
+"""Experiment orchestration: one entry point per paper table/figure."""
+
+from .runner import ExperimentRunner, RunHandle
+from . import figures
+
+__all__ = ["ExperimentRunner", "RunHandle", "figures"]

@@ -1,0 +1,181 @@
+"""Workload execution with trace caching.
+
+Experiments sweep microarchitecture parameters over fixed traces (cache,
+branch, and core models re-run; the guest does not), and sweep run-time
+parameters (nursery size, JIT on/off) by re-running the guest. The
+runner caches a bounded number of recent traces so figure harnesses can
+loop workload-outer / config-inner without re-interpreting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..config import (
+    MachineConfig,
+    RuntimeConfig,
+    cpython_runtime,
+    pypy_runtime,
+    v8_runtime,
+)
+from ..errors import ExperimentError
+from ..frontend.compiler import Program, compile_source
+from ..host.address_space import AddressSpace
+from ..host.machine import HostMachine
+from ..host.trace import InstructionTrace
+from ..uarch.system import MemorySideState, SimulatedSystem
+from ..vm.cpython import CPythonVM
+from ..vm.pypy import PyPyVM
+from ..vm.v8 import V8VM
+from ..vm.v8.workloads import js_source
+from ..workloads import get_workload
+
+_MB = 1024 * 1024
+
+
+@dataclass
+class RunHandle:
+    """A finished guest run: trace, site table, and run statistics."""
+
+    workload: str
+    runtime: str
+    jit: bool
+    nursery: int
+    trace: InstructionTrace
+    site_table: dict[str, int]
+    bytecodes: int
+    allocations: int
+    allocated_bytes: int
+    minor_gcs: int
+    major_gcs: int
+    traces_compiled: int
+    deopts: int
+    output: list[str]
+    #: Trace row where the measured (post-warmup) execution begins.
+    measure_start: int = 0
+
+    def measured_arrays(self):
+        """Trace columns restricted to the measured window."""
+        return self.trace.slice_view(self.measure_start, len(self.trace))
+
+
+def _runtime_config(runtime: str, jit: bool, nursery: int) -> RuntimeConfig:
+    if runtime == "cpython":
+        return cpython_runtime()
+    if runtime == "pypy":
+        return pypy_runtime(jit=jit, nursery_size=nursery)
+    if runtime == "v8":
+        return v8_runtime(nursery_size=nursery)
+    raise ExperimentError(f"unknown runtime {runtime!r}")
+
+
+class ExperimentRunner:
+    """Runs workloads and caches (trace, memory-side) results."""
+
+    def __init__(self, scale: int = 1, max_instructions: int = 120_000_000,
+                 trace_cache_size: int = 4,
+                 state_cache_size: int = 12) -> None:
+        self.scale = scale
+        self.max_instructions = max_instructions
+        self._traces: OrderedDict[tuple, RunHandle] = OrderedDict()
+        self._states: OrderedDict[tuple, MemorySideState] = OrderedDict()
+        self._trace_cache_size = trace_cache_size
+        self._state_cache_size = state_cache_size
+        self._programs: dict[tuple, Program] = {}
+
+    # ------------------------------------------------------------------
+    # Guest execution
+    # ------------------------------------------------------------------
+
+    def _program(self, workload: str, runtime: str) -> Program:
+        key = (workload, runtime == "v8")
+        program = self._programs.get(key)
+        if program is None:
+            if runtime == "v8":
+                source = js_source(workload)
+            else:
+                source = get_workload(workload).source(self.scale)
+            program = compile_source(source, workload)
+            self._programs[key] = program
+        return program
+
+    def run(self, workload: str, runtime: str = "cpython",
+            jit: bool = True, nursery: int = 1 * _MB,
+            warmup_runs: int = 0) -> RunHandle:
+        """Execute (or fetch from cache) one guest run.
+
+        ``warmup_runs`` follows the paper's Section III protocol: the
+        program is executed that many extra times on the *same* VM
+        before the measured run, so the JIT enters the measured window
+        already warm. ``measure_start`` marks where the measured trace
+        begins.
+        """
+        if runtime == "cpython":
+            jit = False
+            nursery = 0
+        key = (workload, runtime, jit, nursery, self.scale, warmup_runs)
+        handle = self._traces.get(key)
+        if handle is not None:
+            self._traces.move_to_end(key)
+            return handle
+        program = self._program(workload, runtime)
+        space = AddressSpace(nursery_size=max(nursery, 16 * 1024))
+        machine = HostMachine(space, max_instructions=self.max_instructions)
+        config = _runtime_config(runtime, jit, max(nursery, 16 * 1024))
+        if runtime == "cpython":
+            vm = CPythonVM(machine, program)
+        elif runtime == "pypy":
+            vm = PyPyVM(machine, program, config)
+        else:
+            vm = V8VM(machine, program, config)
+        for _ in range(warmup_runs):
+            vm.run()
+            vm.output.clear()
+        measure_start = len(machine.trace)
+        vm.run()
+        stats = vm.stats
+        handle = RunHandle(
+            workload=workload, runtime=runtime, jit=jit, nursery=nursery,
+            trace=machine.trace, site_table=dict(machine.site_table),
+            bytecodes=stats.bytecodes, allocations=stats.allocations,
+            allocated_bytes=stats.allocated_bytes,
+            minor_gcs=stats.minor_gcs, major_gcs=stats.major_gcs,
+            traces_compiled=stats.traces_compiled, deopts=stats.deopts,
+            output=list(vm.output), measure_start=measure_start)
+        self._traces[key] = handle
+        while len(self._traces) > self._trace_cache_size:
+            self._traces.popitem(last=False)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Microarchitecture simulation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _config_key(config: MachineConfig) -> tuple:
+        return (config.l1i.size, config.l1d.size, config.l2.size,
+                config.l3.size, config.l1d.line_size, config.l3.ways,
+                config.branch.scale, config.branch.l1_entries)
+
+    def memory_side(self, handle: RunHandle, config: MachineConfig,
+                    ) -> MemorySideState:
+        """Cache + branch simulation for one (run, machine) pair."""
+        key = (id(handle.trace), self._config_key(config))
+        state = self._states.get(key)
+        if state is not None:
+            self._states.move_to_end(key)
+            return state
+        system = SimulatedSystem(config)
+        state = system.memory_side(handle.trace)
+        self._states[key] = state
+        while len(self._states) > self._state_cache_size:
+            self._states.popitem(last=False)
+        return state
+
+    def simulate(self, handle: RunHandle, config: MachineConfig,
+                 core: str = "ooo"):
+        """End-to-end timing for one run on one machine configuration."""
+        state = self.memory_side(handle, config)
+        system = SimulatedSystem(config)
+        return system.run(handle.trace, core=core, state=state)

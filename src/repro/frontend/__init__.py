@@ -1,0 +1,16 @@
+"""MiniPy: the guest language the modeled run-times execute.
+
+MiniPy is a substantial subset of Python — functions, classes, lists,
+dicts, tuples, strings, the full numeric tower the benchmarks need —
+compiled from real Python syntax (via :mod:`ast`) to a CPython-2.7-style
+stack bytecode. Guest programs are the 48 workloads of
+:mod:`repro.workloads` plus anything a user writes.
+"""
+
+from .bytecode import Op, CodeObject, disassemble
+from .compiler import compile_source, compile_program, Program
+
+__all__ = [
+    "Op", "CodeObject", "disassemble",
+    "compile_source", "compile_program", "Program",
+]

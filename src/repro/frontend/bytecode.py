@@ -1,0 +1,177 @@
+"""MiniPy bytecode: opcodes and code objects.
+
+The instruction set mirrors CPython 2.7's stack machine closely enough
+that every overhead category of Table II has its natural home: a dispatch
+loop with a switch, explicit stack traffic, const loads from ``co_consts``,
+global lookups through a map, a block stack for loops (rich control flow),
+and C-function calls for every helper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Op(enum.IntEnum):
+    """MiniPy opcodes. Values are stable across the package."""
+
+    # Stack / constants
+    LOAD_CONST = 1          # arg: index into co_consts
+    POP_TOP = 2
+    DUP_TOP = 3
+    ROT_TWO = 4
+
+    # Variables
+    LOAD_FAST = 10          # arg: local slot
+    STORE_FAST = 11
+    LOAD_GLOBAL = 12        # arg: index into co_names
+    STORE_GLOBAL = 13
+
+    # Arithmetic / logic (binary ops pop two, push one)
+    BINARY_ADD = 20
+    BINARY_SUB = 21
+    BINARY_MUL = 22
+    BINARY_TRUEDIV = 23
+    BINARY_FLOORDIV = 24
+    BINARY_MOD = 25
+    BINARY_POW = 26
+    BINARY_AND = 27
+    BINARY_OR = 28
+    BINARY_XOR = 29
+    BINARY_LSHIFT = 30
+    BINARY_RSHIFT = 31
+    UNARY_NEG = 32
+    UNARY_NOT = 33
+    COMPARE_OP = 34         # arg: index into COMPARE_OPS
+
+    # Control flow
+    JUMP_ABSOLUTE = 40      # arg: target index
+    POP_JUMP_IF_FALSE = 41
+    POP_JUMP_IF_TRUE = 42
+    JUMP_IF_FALSE_OR_POP = 43
+    JUMP_IF_TRUE_OR_POP = 44
+    SETUP_LOOP = 45         # arg: loop-exit target (block stack push)
+    POP_BLOCK = 46
+    BREAK_LOOP = 47
+    GET_ITER = 48
+    FOR_ITER = 49           # arg: loop-exit target
+
+    # Calls and functions
+    CALL_FUNCTION = 60      # arg: positional arg count
+    RETURN_VALUE = 61
+    LOAD_METHOD = 62        # arg: index into co_names
+    CALL_METHOD = 63        # arg: positional arg count
+
+    # Containers
+    BUILD_LIST = 70         # arg: element count
+    BUILD_TUPLE = 71
+    BUILD_MAP = 72          # arg: pair count (pairs already on stack)
+    BINARY_SUBSCR = 73
+    STORE_SUBSCR = 74
+    BUILD_SLICE = 75        # arg: 2 (start, stop) or 3 (with step)
+    UNPACK_SEQUENCE = 76    # arg: element count
+
+    # Attributes / objects
+    LOAD_ATTR = 80          # arg: index into co_names
+    STORE_ATTR = 81
+
+
+#: Comparison operators, indexed by COMPARE_OP's argument.
+COMPARE_OPS = ("<", "<=", "==", "!=", ">", ">=", "in", "not in", "is",
+               "is not")
+
+#: Opcodes whose argument is a bytecode index (for the disassembler).
+JUMP_OPS = frozenset({
+    Op.JUMP_ABSOLUTE, Op.POP_JUMP_IF_FALSE, Op.POP_JUMP_IF_TRUE,
+    Op.JUMP_IF_FALSE_OR_POP, Op.JUMP_IF_TRUE_OR_POP, Op.SETUP_LOOP,
+    Op.FOR_ITER,
+})
+
+#: Opcodes whose argument names something in co_names.
+NAME_OPS = frozenset({
+    Op.LOAD_GLOBAL, Op.STORE_GLOBAL, Op.LOAD_METHOD, Op.LOAD_ATTR,
+    Op.STORE_ATTR,
+})
+
+
+@dataclass
+class CodeObject:
+    """A compiled MiniPy function (or module) body."""
+
+    name: str
+    #: Parallel arrays: opcode values and integer arguments.
+    ops: list[int] = field(default_factory=list)
+    args: list[int] = field(default_factory=list)
+    #: Constant pool (raw Python values: int, float, str, bool, None).
+    consts: list[object] = field(default_factory=list)
+    #: Names referenced by NAME_OPS.
+    names: list[str] = field(default_factory=list)
+    #: Local variable names; parameters come first.
+    varnames: list[str] = field(default_factory=list)
+    argcount: int = 0
+    #: Source line per instruction (diagnostics only).
+    linenos: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def add_const(self, value: object) -> int:
+        """Intern ``value`` in the constant pool and return its index."""
+        for i, existing in enumerate(self.consts):
+            if type(existing) is type(value) and existing == value:
+                return i
+        self.consts.append(value)
+        return len(self.consts) - 1
+
+    def add_name(self, name: str) -> int:
+        """Intern ``name`` and return its index."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            self.names.append(name)
+            return len(self.names) - 1
+
+    def local_slot(self, name: str) -> int:
+        """Slot of local variable ``name``, creating it if new."""
+        try:
+            return self.varnames.index(name)
+        except ValueError:
+            self.varnames.append(name)
+            return len(self.varnames) - 1
+
+    def emit(self, op: Op, arg: int = 0, lineno: int = 0) -> int:
+        """Append one instruction; returns its index (for jump patching)."""
+        self.ops.append(int(op))
+        self.args.append(arg)
+        self.linenos.append(lineno)
+        return len(self.ops) - 1
+
+    def patch(self, index: int, target: int) -> None:
+        """Set the jump target of the instruction at ``index``."""
+        self.args[index] = target
+
+
+def disassemble(code: CodeObject) -> str:
+    """Human-readable listing of a code object (debugging aid)."""
+    lines = [f"code {code.name!r} ({code.argcount} args, "
+             f"{len(code.varnames)} locals)"]
+    for i, (op_value, arg) in enumerate(zip(code.ops, code.args)):
+        op = Op(op_value)
+        detail = ""
+        if op in JUMP_OPS:
+            detail = f" -> {arg}"
+        elif op in NAME_OPS:
+            detail = f" ({code.names[arg]})"
+        elif op is Op.LOAD_CONST:
+            detail = f" ({code.consts[arg]!r})"
+        elif op in (Op.LOAD_FAST, Op.STORE_FAST):
+            detail = f" ({code.varnames[arg]})"
+        elif op is Op.COMPARE_OP:
+            detail = f" ({COMPARE_OPS[arg]})"
+        elif op in (Op.CALL_FUNCTION, Op.CALL_METHOD, Op.BUILD_LIST,
+                    Op.BUILD_TUPLE, Op.BUILD_MAP, Op.UNPACK_SEQUENCE,
+                    Op.BUILD_SLICE):
+            detail = f" ({arg})"
+        lines.append(f"  {i:4d}  {op.name:<22s}{detail}")
+    return "\n".join(lines)

@@ -1,0 +1,493 @@
+"""Compile MiniPy source (real Python syntax) to MiniPy bytecode.
+
+The compiler accepts the Python subset the 48 benchmark programs are
+written in: module-level functions and simple classes, the full statement
+and expression repertoire of a typical interpreter benchmark, positional
+arguments only. Unsupported constructs raise :class:`CompileError` rather
+than miscompiling.
+
+Semantic note: augmented assignment to subscripts and attributes
+(``a[i] += v``) is compiled by evaluating the target expression twice;
+MiniPy code must not rely on side effects inside such targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from .bytecode import COMPARE_OPS, CodeObject, Op
+
+_BINOP_TABLE = {
+    ast.Add: Op.BINARY_ADD,
+    ast.Sub: Op.BINARY_SUB,
+    ast.Mult: Op.BINARY_MUL,
+    ast.Div: Op.BINARY_TRUEDIV,
+    ast.FloorDiv: Op.BINARY_FLOORDIV,
+    ast.Mod: Op.BINARY_MOD,
+    ast.Pow: Op.BINARY_POW,
+    ast.BitAnd: Op.BINARY_AND,
+    ast.BitOr: Op.BINARY_OR,
+    ast.BitXor: Op.BINARY_XOR,
+    ast.LShift: Op.BINARY_LSHIFT,
+    ast.RShift: Op.BINARY_RSHIFT,
+}
+
+_CMP_TABLE = {
+    ast.Lt: "<", ast.LtE: "<=", ast.Eq: "==", ast.NotEq: "!=",
+    ast.Gt: ">", ast.GtE: ">=", ast.In: "in", ast.NotIn: "not in",
+    ast.Is: "is", ast.IsNot: "is not",
+}
+
+
+@dataclass
+class ClassSpec:
+    """A compiled MiniPy class: a name and its method code objects."""
+
+    name: str
+    methods: dict[str, CodeObject] = field(default_factory=dict)
+
+
+@dataclass
+class Program:
+    """A fully compiled MiniPy program."""
+
+    name: str
+    module: CodeObject
+    functions: dict[str, CodeObject] = field(default_factory=dict)
+    classes: dict[str, ClassSpec] = field(default_factory=dict)
+
+    def code_objects(self) -> list[CodeObject]:
+        """All code objects: module, functions, then methods."""
+        result = [self.module]
+        result.extend(self.functions.values())
+        for cls in self.classes.values():
+            result.extend(cls.methods.values())
+        return result
+
+
+class _FunctionCompiler:
+    """Compiles one function (or the module body) to a CodeObject."""
+
+    def __init__(self, name: str, is_module: bool) -> None:
+        self.code = CodeObject(name=name)
+        self.is_module = is_module
+        self.local_names: set[str] = set()
+        self.global_decls: set[str] = set()
+        #: Stack of (continue_target, break_patch_indices) per loop.
+        self.loop_stack: list[tuple[int, list[int]]] = []
+
+    # -- scope ---------------------------------------------------------
+
+    def collect_locals(self, body: list[ast.stmt]) -> None:
+        """Pre-scan for assigned names: they become locals."""
+        for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(node, ast.Global):
+                self.global_decls.update(node.names)
+            elif isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.local_names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                raise CompileError(
+                    "nested function/class definitions are not supported",
+                    node.lineno)
+        self.local_names -= self.global_decls
+
+    def is_local(self, name: str) -> bool:
+        return not self.is_module and name in self.local_names
+
+    # -- statements ------------------------------------------------------
+
+    def compile_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, node: ast.stmt) -> None:
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            raise CompileError(
+                f"unsupported statement: {type(node).__name__}",
+                getattr(node, "lineno", None))
+        method(node)
+
+    def _stmt_Expr(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Constant):
+            return  # docstring or bare literal: no code
+        self.compile_expr(node.value)
+        self.code.emit(Op.POP_TOP, lineno=node.lineno)
+
+    def _stmt_Pass(self, node: ast.Pass) -> None:
+        pass
+
+    def _stmt_Global(self, node: ast.Global) -> None:
+        pass  # handled in collect_locals
+
+    def _stmt_Return(self, node: ast.Return) -> None:
+        if self.is_module:
+            raise CompileError("return outside function", node.lineno)
+        if node.value is None:
+            self.code.emit(Op.LOAD_CONST, self.code.add_const(None),
+                           lineno=node.lineno)
+        else:
+            self.compile_expr(node.value)
+        self.code.emit(Op.RETURN_VALUE, lineno=node.lineno)
+
+    def _stmt_Assign(self, node: ast.Assign) -> None:
+        self.compile_expr(node.value)
+        for i, target in enumerate(node.targets):
+            if i < len(node.targets) - 1:
+                self.code.emit(Op.DUP_TOP, lineno=node.lineno)
+            self.compile_store(target)
+
+    def _stmt_AugAssign(self, node: ast.AugAssign) -> None:
+        op = _BINOP_TABLE.get(type(node.op))
+        if op is None:
+            raise CompileError(
+                f"unsupported augmented op: {type(node.op).__name__}",
+                node.lineno)
+        # Compile as load-op-store; the target is evaluated twice.
+        load_equiv = ast.copy_location(
+            _to_load(node.target), node.target)
+        self.compile_expr(load_equiv)
+        self.compile_expr(node.value)
+        self.code.emit(op, lineno=node.lineno)
+        self.compile_store(node.target)
+
+    def compile_store(self, target: ast.expr) -> None:
+        lineno = getattr(target, "lineno", 0)
+        if isinstance(target, ast.Name):
+            name = target.id
+            if self.is_local(name):
+                self.code.emit(Op.STORE_FAST, self.code.local_slot(name),
+                               lineno=lineno)
+            else:
+                self.code.emit(Op.STORE_GLOBAL, self.code.add_name(name),
+                               lineno=lineno)
+        elif isinstance(target, ast.Subscript):
+            # Stack: value. Need: obj, index, value order for STORE_SUBSCR.
+            self.compile_expr(target.value)
+            self.compile_subscript_index(target)
+            self.code.emit(Op.STORE_SUBSCR, lineno=lineno)
+        elif isinstance(target, ast.Attribute):
+            self.compile_expr(target.value)
+            self.code.emit(Op.STORE_ATTR,
+                           self.code.add_name(target.attr), lineno=lineno)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self.code.emit(Op.UNPACK_SEQUENCE, len(target.elts),
+                           lineno=lineno)
+            for element in target.elts:
+                self.compile_store(element)
+        else:
+            raise CompileError(
+                f"unsupported assignment target: {type(target).__name__}",
+                lineno)
+
+    def _stmt_If(self, node: ast.If) -> None:
+        self.compile_expr(node.test)
+        jump_false = self.code.emit(Op.POP_JUMP_IF_FALSE,
+                                    lineno=node.lineno)
+        self.compile_body(node.body)
+        if node.orelse:
+            jump_end = self.code.emit(Op.JUMP_ABSOLUTE)
+            self.code.patch(jump_false, len(self.code))
+            self.compile_body(node.orelse)
+            self.code.patch(jump_end, len(self.code))
+        else:
+            self.code.patch(jump_false, len(self.code))
+
+    def _stmt_While(self, node: ast.While) -> None:
+        if node.orelse:
+            raise CompileError("while-else is not supported", node.lineno)
+        setup = self.code.emit(Op.SETUP_LOOP, lineno=node.lineno)
+        start = len(self.code)
+        self.loop_stack.append((start, []))
+        is_infinite = (isinstance(node.test, ast.Constant) and
+                       node.test.value is True)
+        jump_exit = None
+        if not is_infinite:
+            self.compile_expr(node.test)
+            jump_exit = self.code.emit(Op.POP_JUMP_IF_FALSE)
+        self.compile_body(node.body)
+        self.code.emit(Op.JUMP_ABSOLUTE, start)
+        if jump_exit is not None:
+            self.code.patch(jump_exit, len(self.code))
+        self.code.emit(Op.POP_BLOCK)
+        end = len(self.code)
+        self.code.patch(setup, end)
+        _, break_jumps = self.loop_stack.pop()
+        for index in break_jumps:
+            self.code.patch(index, end)
+
+    def _stmt_For(self, node: ast.For) -> None:
+        if node.orelse:
+            raise CompileError("for-else is not supported", node.lineno)
+        setup = self.code.emit(Op.SETUP_LOOP, lineno=node.lineno)
+        self.compile_expr(node.iter)
+        self.code.emit(Op.GET_ITER)
+        start = len(self.code)
+        self.loop_stack.append((start, []))
+        for_iter = self.code.emit(Op.FOR_ITER)
+        self.compile_store(node.target)
+        self.compile_body(node.body)
+        self.code.emit(Op.JUMP_ABSOLUTE, start)
+        self.code.patch(for_iter, len(self.code))
+        self.code.emit(Op.POP_BLOCK)
+        end = len(self.code)
+        self.code.patch(setup, end)
+        _, break_jumps = self.loop_stack.pop()
+        for index in break_jumps:
+            self.code.patch(index, end)
+
+    def _stmt_Break(self, node: ast.Break) -> None:
+        if not self.loop_stack:
+            raise CompileError("break outside loop", node.lineno)
+        # BREAK_LOOP unwinds via the VM block stack; the exit target is
+        # recorded in the SETUP_LOOP block, so no patching is needed here.
+        self.code.emit(Op.BREAK_LOOP, lineno=node.lineno)
+
+    def _stmt_Continue(self, node: ast.Continue) -> None:
+        if not self.loop_stack:
+            raise CompileError("continue outside loop", node.lineno)
+        start, _ = self.loop_stack[-1]
+        self.code.emit(Op.JUMP_ABSOLUTE, start, lineno=node.lineno)
+
+    # -- expressions ----------------------------------------------------
+
+    def compile_expr(self, node: ast.expr) -> None:
+        method = getattr(self, f"_expr_{type(node).__name__}", None)
+        if method is None:
+            raise CompileError(
+                f"unsupported expression: {type(node).__name__}",
+                getattr(node, "lineno", None))
+        method(node)
+
+    def _expr_Constant(self, node: ast.Constant) -> None:
+        value = node.value
+        if not isinstance(value, (int, float, str, bool, type(None))):
+            raise CompileError(
+                f"unsupported constant type: {type(value).__name__}",
+                node.lineno)
+        self.code.emit(Op.LOAD_CONST, self.code.add_const(value),
+                       lineno=node.lineno)
+
+    def _expr_Name(self, node: ast.Name) -> None:
+        name = node.id
+        if self.is_local(name):
+            self.code.emit(Op.LOAD_FAST, self.code.local_slot(name),
+                           lineno=node.lineno)
+        else:
+            self.code.emit(Op.LOAD_GLOBAL, self.code.add_name(name),
+                           lineno=node.lineno)
+
+    def _expr_BinOp(self, node: ast.BinOp) -> None:
+        op = _BINOP_TABLE.get(type(node.op))
+        if op is None:
+            raise CompileError(
+                f"unsupported binary op: {type(node.op).__name__}",
+                node.lineno)
+        self.compile_expr(node.left)
+        self.compile_expr(node.right)
+        self.code.emit(op, lineno=node.lineno)
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp) -> None:
+        if isinstance(node.op, ast.USub):
+            self.compile_expr(node.operand)
+            self.code.emit(Op.UNARY_NEG, lineno=node.lineno)
+        elif isinstance(node.op, ast.Not):
+            self.compile_expr(node.operand)
+            self.code.emit(Op.UNARY_NOT, lineno=node.lineno)
+        elif isinstance(node.op, ast.UAdd):
+            self.compile_expr(node.operand)
+        else:
+            raise CompileError(
+                f"unsupported unary op: {type(node.op).__name__}",
+                node.lineno)
+
+    def _expr_BoolOp(self, node: ast.BoolOp) -> None:
+        jump_op = (Op.JUMP_IF_FALSE_OR_POP if isinstance(node.op, ast.And)
+                   else Op.JUMP_IF_TRUE_OR_POP)
+        jumps = []
+        for i, value in enumerate(node.values):
+            self.compile_expr(value)
+            if i < len(node.values) - 1:
+                jumps.append(self.code.emit(jump_op, lineno=node.lineno))
+        end = len(self.code)
+        for index in jumps:
+            self.code.patch(index, end)
+
+    def _expr_Compare(self, node: ast.Compare) -> None:
+        if len(node.ops) != 1:
+            raise CompileError(
+                "chained comparisons are not supported", node.lineno)
+        symbol = _CMP_TABLE.get(type(node.ops[0]))
+        if symbol is None:
+            raise CompileError(
+                f"unsupported comparison: {type(node.ops[0]).__name__}",
+                node.lineno)
+        self.compile_expr(node.left)
+        self.compile_expr(node.comparators[0])
+        self.code.emit(Op.COMPARE_OP, COMPARE_OPS.index(symbol),
+                       lineno=node.lineno)
+
+    def _expr_IfExp(self, node: ast.IfExp) -> None:
+        self.compile_expr(node.test)
+        jump_false = self.code.emit(Op.POP_JUMP_IF_FALSE,
+                                    lineno=node.lineno)
+        self.compile_expr(node.body)
+        jump_end = self.code.emit(Op.JUMP_ABSOLUTE)
+        self.code.patch(jump_false, len(self.code))
+        self.compile_expr(node.orelse)
+        self.code.patch(jump_end, len(self.code))
+
+    def _expr_Call(self, node: ast.Call) -> None:
+        if node.keywords:
+            raise CompileError(
+                "keyword arguments are not supported", node.lineno)
+        if isinstance(node.func, ast.Attribute):
+            self.compile_expr(node.func.value)
+            self.code.emit(Op.LOAD_METHOD,
+                           self.code.add_name(node.func.attr),
+                           lineno=node.lineno)
+            for arg in node.args:
+                self.compile_expr(arg)
+            self.code.emit(Op.CALL_METHOD, len(node.args),
+                           lineno=node.lineno)
+        else:
+            self.compile_expr(node.func)
+            for arg in node.args:
+                self.compile_expr(arg)
+            self.code.emit(Op.CALL_FUNCTION, len(node.args),
+                           lineno=node.lineno)
+
+    def _expr_List(self, node: ast.List) -> None:
+        for element in node.elts:
+            self.compile_expr(element)
+        self.code.emit(Op.BUILD_LIST, len(node.elts), lineno=node.lineno)
+
+    def _expr_Tuple(self, node: ast.Tuple) -> None:
+        for element in node.elts:
+            self.compile_expr(element)
+        self.code.emit(Op.BUILD_TUPLE, len(node.elts), lineno=node.lineno)
+
+    def _expr_Dict(self, node: ast.Dict) -> None:
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                raise CompileError("dict unpacking is not supported",
+                                   node.lineno)
+            self.compile_expr(key)
+            self.compile_expr(value)
+        self.code.emit(Op.BUILD_MAP, len(node.keys), lineno=node.lineno)
+
+    def _expr_Subscript(self, node: ast.Subscript) -> None:
+        self.compile_expr(node.value)
+        self.compile_subscript_index(node)
+        self.code.emit(Op.BINARY_SUBSCR, lineno=node.lineno)
+
+    def compile_subscript_index(self, node: ast.Subscript) -> None:
+        index = node.slice
+        if isinstance(index, ast.Slice):
+            if index.step is not None:
+                raise CompileError("slice steps are not supported",
+                                   node.lineno)
+            for bound in (index.lower, index.upper):
+                if bound is None:
+                    self.code.emit(Op.LOAD_CONST,
+                                   self.code.add_const(None))
+                else:
+                    self.compile_expr(bound)
+            self.code.emit(Op.BUILD_SLICE, 2)
+        else:
+            self.compile_expr(index)
+
+    def _expr_Attribute(self, node: ast.Attribute) -> None:
+        self.compile_expr(node.value)
+        self.code.emit(Op.LOAD_ATTR, self.code.add_name(node.attr),
+                       lineno=node.lineno)
+
+    # -- finish -----------------------------------------------------------
+
+    def finish(self) -> CodeObject:
+        """Append the implicit ``return None`` and return the code."""
+        self.code.emit(Op.LOAD_CONST, self.code.add_const(None))
+        self.code.emit(Op.RETURN_VALUE)
+        return self.code
+
+
+def _to_load(target: ast.expr) -> ast.expr:
+    """Clone an assignment target as a Load-context expression."""
+    clone = ast.parse(ast.unparse(target), mode="eval").body
+    return clone
+
+
+def _compile_function(node: ast.FunctionDef) -> CodeObject:
+    if node.args.defaults or node.args.kwonlyargs or node.args.vararg or \
+            node.args.kwarg or node.args.posonlyargs:
+        raise CompileError(
+            f"function {node.name}: only plain positional parameters are "
+            "supported", node.lineno)
+    if node.decorator_list:
+        raise CompileError(
+            f"function {node.name}: decorators are not supported",
+            node.lineno)
+    compiler = _FunctionCompiler(node.name, is_module=False)
+    for arg in node.args.args:
+        compiler.code.local_slot(arg.arg)
+        compiler.local_names.add(arg.arg)
+    compiler.code.argcount = len(node.args.args)
+    compiler.collect_locals(node.body)
+    compiler.compile_body(node.body)
+    return compiler.finish()
+
+
+def _compile_class(node: ast.ClassDef) -> ClassSpec:
+    if node.bases or node.keywords or node.decorator_list:
+        raise CompileError(
+            f"class {node.name}: inheritance and decorators are not "
+            "supported", node.lineno)
+    spec = ClassSpec(name=node.name)
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef):
+            code = _compile_function(item)
+            code.name = f"{node.name}.{item.name}"
+            spec.methods[item.name] = code
+        elif isinstance(item, ast.Expr) and \
+                isinstance(item.value, ast.Constant):
+            continue  # docstring
+        elif isinstance(item, ast.Pass):
+            continue
+        else:
+            raise CompileError(
+                f"class {node.name}: only method definitions are "
+                "supported in a class body", item.lineno)
+    return spec
+
+
+def compile_source(source: str, name: str = "<program>") -> Program:
+    """Compile MiniPy source text into a :class:`Program`."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise CompileError(f"syntax error: {exc.msg}", exc.lineno) from exc
+    module_compiler = _FunctionCompiler("<module>", is_module=True)
+    program = Program(name=name, module=module_compiler.code)
+    module_statements: list[ast.stmt] = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            program.functions[node.name] = _compile_function(node)
+        elif isinstance(node, ast.ClassDef):
+            program.classes[node.name] = _compile_class(node)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            # Imports are resolved by the run-time's builtin table; the
+            # statement itself compiles to nothing.
+            continue
+        else:
+            module_statements.append(node)
+    module_compiler.compile_body(module_statements)
+    module_compiler.finish()
+    return program
+
+
+def compile_program(source: str, name: str = "<program>") -> Program:
+    """Alias of :func:`compile_source` kept for API symmetry."""
+    return compile_source(source, name)

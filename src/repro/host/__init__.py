@@ -1,0 +1,22 @@
+"""Simulated host machine that the modeled run-times execute on.
+
+The run-time models (CPython-model interpreter, PyPy model, V8 analog) do
+their *semantic* work in ordinary Python, but every micro-operation they
+perform is mirrored as a stream of *host instructions* emitted through
+:class:`~repro.host.machine.HostMachine`. Each host instruction carries an
+overhead-category tag (Table II), a program counter inside the simulated
+interpreter binary, and — for memory operations — an address inside the
+simulated address space. The microarchitecture models in
+:mod:`repro.uarch` consume these traces.
+"""
+
+from .isa import InstrKind, FLAG_TAKEN, FLAG_INDIRECT, FLAG_COND
+from .trace import InstructionTrace
+from .address_space import AddressSpace, Region, FreelistAllocator
+from .machine import HostMachine
+
+__all__ = [
+    "InstrKind", "FLAG_TAKEN", "FLAG_INDIRECT", "FLAG_COND",
+    "InstructionTrace", "AddressSpace", "Region", "FreelistAllocator",
+    "HostMachine",
+]

@@ -1,0 +1,169 @@
+"""Simulated flat address space shared by a run-time and the cache models.
+
+Regions follow the layout of a real interpreter process:
+
+========  =====================  ==============================================
+region    base                   contents
+========  =====================  ==============================================
+code      0x0040_0000            the statically compiled interpreter binary
+vm_data   0x0060_0000            VM globals: dispatch table, small-int cache
+jit_code  0x0800_0000            machine code emitted by the tracing JIT
+heap      0x1000_0000            CPython-style malloc heap (freelist reuse)
+nursery   0x2000_0000            PyPy-model GC nursery (bump allocation)
+old       0x4000_0000            PyPy-model GC old space
+c_lib     0x6000_0000            modeled C library working buffers
+c_stack   0x7fff_ffff (down)     native C call stack
+========  =====================  ==============================================
+
+Addresses are plain integers; nothing is ever stored at them. Their only
+job is to give the cache hierarchy a realistic access stream — which is
+exactly how the nursery-size results of Figures 10-17 become emergent
+rather than scripted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AllocationError
+
+CODE_BASE = 0x0040_0000
+VM_DATA_BASE = 0x0060_0000
+JIT_CODE_BASE = 0x0800_0000
+HEAP_BASE = 0x1000_0000
+NURSERY_BASE = 0x2000_0000
+OLD_BASE = 0x4000_0000
+C_LIB_BASE = 0x6000_0000
+C_STACK_TOP = 0x7FFF_FF00
+
+_ALIGN = 16
+
+
+def align(size: int, alignment: int = _ALIGN) -> int:
+    """Round ``size`` up to the given alignment."""
+    return (size + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class Region:
+    """A contiguous address range with a bump-allocation cursor."""
+
+    name: str
+    base: int
+    size: int
+    cursor: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise AllocationError(f"region {self.name}: size must be > 0")
+        self.cursor = self.base
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        return self.cursor - self.base
+
+    @property
+    def remaining(self) -> int:
+        return self.end - self.cursor
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def bump(self, size: int) -> int:
+        """Allocate ``size`` aligned bytes; raise if the region is full."""
+        size = align(size)
+        if self.cursor + size > self.end:
+            raise AllocationError(
+                f"region {self.name} exhausted "
+                f"(used {self.used} of {self.size}, request {size})")
+        addr = self.cursor
+        self.cursor += size
+        return addr
+
+    def reset(self) -> None:
+        """Reset the bump cursor (used by nursery collection)."""
+        self.cursor = self.base
+
+
+class AddressSpace:
+    """The full set of regions for one simulated run-time process."""
+
+    def __init__(self, nursery_size: int = 4 * 1024 * 1024) -> None:
+        self.code = Region("code", CODE_BASE, 2 * 1024 * 1024)
+        self.vm_data = Region("vm_data", VM_DATA_BASE, 8 * 1024 * 1024)
+        self.jit_code = Region("jit_code", JIT_CODE_BASE, 64 * 1024 * 1024)
+        self.heap = Region("heap", HEAP_BASE, 256 * 1024 * 1024)
+        self.nursery = Region("nursery", NURSERY_BASE, nursery_size)
+        self.old = Region("old", OLD_BASE, 512 * 1024 * 1024)
+        self.c_lib = Region("c_lib", C_LIB_BASE, 64 * 1024 * 1024)
+        self._regions = [
+            self.code, self.vm_data, self.jit_code, self.heap,
+            self.nursery, self.old, self.c_lib,
+        ]
+
+    def region_of(self, addr: int) -> Region | None:
+        """Return the region containing ``addr``, or None (e.g. C stack)."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+
+class FreelistAllocator:
+    """CPython-style small-object allocator over the ``heap`` region.
+
+    Freed blocks are recycled LIFO per size class, so a dealloc/alloc pair
+    returns a *recently touched* address. This models the temporal locality
+    that lets the CPython model run well with small caches (Section V-A),
+    in contrast with the nursery's steadily advancing bump pointer.
+    """
+
+    #: Size classes in bytes; requests above the largest use bump allocation.
+    SIZE_CLASSES = (16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+                    1024, 2048)
+
+    def __init__(self, region: Region, recycle: bool = True) -> None:
+        self._region = region
+        #: Ablation knob: with recycling off, every allocation bumps and
+        #: frees are dropped — the allocator loses its temporal locality.
+        self.recycle = recycle
+        self._freelists: dict[int, list[int]] = {
+            size: [] for size in self.SIZE_CLASSES}
+        self.alloc_count = 0
+        self.free_count = 0
+        self.reuse_count = 0
+
+    def _size_class(self, size: int) -> int | None:
+        for cls_size in self.SIZE_CLASSES:
+            if size <= cls_size:
+                return cls_size
+        return None
+
+    def alloc(self, size: int) -> int:
+        """Return an address for ``size`` bytes, reusing freed blocks."""
+        self.alloc_count += 1
+        cls_size = self._size_class(size)
+        if cls_size is not None:
+            if self.recycle:
+                freelist = self._freelists[cls_size]
+                if freelist:
+                    self.reuse_count += 1
+                    return freelist.pop()
+            return self._region.bump(cls_size)
+        return self._region.bump(size)
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block to its size-class freelist."""
+        self.free_count += 1
+        if not self.recycle:
+            return
+        cls_size = self._size_class(size)
+        if cls_size is not None:
+            freelist = self._freelists[cls_size]
+            # Bound freelist growth the way CPython's arenas do, roughly.
+            if len(freelist) < 8192:
+                freelist.append(addr)

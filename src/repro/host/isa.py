@@ -1,0 +1,60 @@
+"""Host instruction kinds and flags.
+
+The host ISA is a small abstract x86-64-like machine: enough detail for the
+cache, branch-prediction, and core timing models, and no more. Branch
+targets are stored in the instruction's address field; memory operations
+store their effective address there instead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Byte distance between consecutive static instructions.
+INSTR_BYTES = 4
+
+
+class InstrKind(enum.IntEnum):
+    """Classification of one host instruction.
+
+    Values are stored directly in traces and must remain stable.
+    """
+
+    ALU = 0          # integer ALU operation, 1-cycle
+    FPU = 1          # floating-point operation, multi-cycle
+    LOAD = 2         # memory read
+    STORE = 3        # memory write
+    BRANCH = 4       # conditional or unconditional direct branch
+    CALL = 5         # direct call
+    ICALL = 6        # indirect call (through a function pointer)
+    RET = 7          # return
+    MUL = 8          # integer multiply
+    DIV = 9          # integer/floating divide, long latency
+
+
+#: Execution latency (cycles) of each kind, excluding memory misses.
+KIND_LATENCY = {
+    InstrKind.ALU: 1,
+    InstrKind.FPU: 4,
+    InstrKind.LOAD: 1,       # + cache access latency, added by the core model
+    InstrKind.STORE: 1,
+    InstrKind.BRANCH: 1,
+    InstrKind.CALL: 1,
+    InstrKind.ICALL: 1,
+    InstrKind.RET: 1,
+    InstrKind.MUL: 3,
+    InstrKind.DIV: 20,
+}
+
+#: Kinds that access data memory.
+MEMORY_KINDS = frozenset({InstrKind.LOAD, InstrKind.STORE})
+
+#: Kinds whose outcome the branch predictor must guess.
+CONTROL_KINDS = frozenset({
+    InstrKind.BRANCH, InstrKind.CALL, InstrKind.ICALL, InstrKind.RET,
+})
+
+# Flag bits stored in the trace's flags column.
+FLAG_TAKEN = 1 << 0      # branch was taken
+FLAG_INDIRECT = 1 << 1   # control transfer through a register/pointer
+FLAG_COND = 1 << 2       # branch is conditional (predictable direction)

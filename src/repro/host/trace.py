@@ -1,0 +1,118 @@
+"""Columnar instruction traces.
+
+A trace is the interface between the run-time models (producers) and the
+microarchitecture models (consumers). Columns are appended as flat Python
+``array`` buffers for speed and exposed to consumers as numpy arrays.
+
+Columns
+-------
+pc        static program counter of the host instruction
+kind      :class:`~repro.host.isa.InstrKind` value
+category  :class:`~repro.categories.OverheadCategory` value
+addr      effective address (memory ops) or branch target (control ops)
+size      access size in bytes (memory ops only)
+dep       distance, in instructions, back to the producer this instruction
+          depends on (0 = no register dependence)
+flags     FLAG_TAKEN / FLAG_INDIRECT / FLAG_COND bits
+origin    origin PC for caller-dependent annotation (Section IV-B.1)
+"""
+
+from __future__ import annotations
+
+from array import array
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceError
+
+_COLUMNS = ("pc", "kind", "category", "addr", "size", "dep", "flags",
+            "origin")
+
+
+class InstructionTrace:
+    """Append-only columnar buffer of host instructions."""
+
+    def __init__(self) -> None:
+        self.pc = array("q")
+        self.kind = array("b")
+        self.category = array("b")
+        self.addr = array("q")
+        self.size = array("i")
+        self.dep = array("i")
+        self.flags = array("b")
+        self.origin = array("q")
+        self._frozen: dict[str, np.ndarray] | None = None
+        self._frozen_len = -1
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    def append(self, pc: int, kind: int, category: int, addr: int = 0,
+               size: int = 0, dep: int = 1, flags: int = 0,
+               origin: int = 0) -> None:
+        """Append one instruction. Hot path: keep argument handling flat."""
+        self.pc.append(pc)
+        self.kind.append(kind)
+        self.category.append(category)
+        self.addr.append(addr)
+        self.size.append(size)
+        self.dep.append(dep)
+        self.flags.append(flags)
+        self.origin.append(origin)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Return the trace as read-only numpy arrays (cached by length).
+
+        Producers (:class:`~repro.host.machine.HostMachine`) append to the
+        column buffers directly for speed, so the cache is keyed on trace
+        length rather than invalidated on every append.
+        """
+        if self._frozen is None or self._frozen_len != len(self):
+            self._frozen_len = len(self)
+            # Copy rather than view: a numpy view would pin the array
+            # buffers and make further appends raise BufferError.
+            self._frozen = {
+                name: np.array(getattr(self, name),
+                               dtype=getattr(self, name).typecode)
+                for name in _COLUMNS
+            }
+        return self._frozen
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in _COLUMNS:
+            raise TraceError(f"unknown trace column: {name!r}")
+        return self.arrays()[name]
+
+    def category_counts(self) -> np.ndarray:
+        """Instruction count per category value (index = category)."""
+        if len(self) == 0:
+            return np.zeros(32, dtype=np.int64)
+        return np.bincount(self.column("category"), minlength=32)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the trace to an ``.npz`` file."""
+        np.savez_compressed(Path(path), **self.arrays())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InstructionTrace":
+        """Load a trace previously stored with :meth:`save`."""
+        data = np.load(Path(path))
+        missing = [name for name in _COLUMNS if name not in data]
+        if missing:
+            raise TraceError(f"trace file missing columns: {missing}")
+        trace = cls()
+        for name in _COLUMNS:
+            column = getattr(trace, name)
+            column.frombytes(
+                np.ascontiguousarray(
+                    data[name].astype(column.typecode)).tobytes())
+        return trace
+
+    def slice_view(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        """Read-only view of rows ``[start, stop)`` as numpy arrays."""
+        if not (0 <= start <= stop <= len(self)):
+            raise TraceError(
+                f"slice [{start}, {stop}) out of range for trace of "
+                f"length {len(self)}")
+        return {name: arr[start:stop] for name, arr in self.arrays().items()}

@@ -1,0 +1,22 @@
+"""Guest object model shared by the modeled run-times.
+
+Every MiniPy value is a boxed heap object with a simulated address and a
+byte size, mirroring CPython's ``PyObject`` layout. The semantic payload
+(``value``, ``items``, ...) is held in ordinary Python attributes; the
+``addr`` field ties the object to the simulated address space so the
+cache models see realistic traffic.
+"""
+
+from .model import (
+    GuestObject, PyInt, PyFloat, PyBool, PyNone, PyStr, PyList, PyTuple,
+    PyDict, PyRange, PySlice, PyFunc, PyBuiltin, PyClass, PyInstance,
+    PyBoundMethod, PyIterator, NONE, TRUE, FALSE, raw_key, gc_children,
+    guest_repr,
+)
+
+__all__ = [
+    "GuestObject", "PyInt", "PyFloat", "PyBool", "PyNone", "PyStr",
+    "PyList", "PyTuple", "PyDict", "PyRange", "PySlice", "PyFunc",
+    "PyBuiltin", "PyClass", "PyInstance", "PyBoundMethod", "PyIterator",
+    "NONE", "TRUE", "FALSE", "raw_key", "gc_children", "guest_repr",
+]

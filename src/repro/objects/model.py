@@ -1,0 +1,370 @@
+"""Boxed guest objects.
+
+Sizes follow CPython's 64-bit layouts to first order: a 16-byte header
+(refcount + type pointer) plus the payload. Container payloads that
+CPython stores out-of-line (list item buffers, dict tables) are modeled
+as separate allocations so growth patterns create realistic traffic.
+"""
+
+from __future__ import annotations
+
+from ..errors import GuestTypeError
+
+HEADER_BYTES = 16
+
+
+class GuestObject:
+    """Base class of every MiniPy value."""
+
+    __slots__ = ("addr", "refcount", "gc_age")
+    type_name = "object"
+
+    def __init__(self) -> None:
+        self.addr = 0
+        self.refcount = 1
+        self.gc_age = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+    def is_truthy(self) -> bool:
+        return True
+
+
+class PyInt(GuestObject):
+    __slots__ = ("value",)
+    type_name = "int"
+
+    def __init__(self, value: int) -> None:
+        super().__init__()
+        self.value = value
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 16
+
+    def is_truthy(self) -> bool:
+        return self.value != 0
+
+
+class PyFloat(GuestObject):
+    __slots__ = ("value",)
+    type_name = "float"
+
+    def __init__(self, value: float) -> None:
+        super().__init__()
+        self.value = value
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 8
+
+    def is_truthy(self) -> bool:
+        return self.value != 0.0
+
+
+class PyBool(GuestObject):
+    __slots__ = ("value",)
+    type_name = "bool"
+
+    def __init__(self, value: bool) -> None:
+        super().__init__()
+        self.value = value
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 8
+
+    def is_truthy(self) -> bool:
+        return self.value
+
+
+class PyNone(GuestObject):
+    __slots__ = ()
+    type_name = "NoneType"
+
+    def is_truthy(self) -> bool:
+        return False
+
+
+class PyStr(GuestObject):
+    __slots__ = ("value",)
+    type_name = "str"
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def size_bytes(self) -> int:
+        # header + hash + length + character data
+        return HEADER_BYTES + 16 + len(self.value)
+
+    def is_truthy(self) -> bool:
+        return bool(self.value)
+
+
+class PyList(GuestObject):
+    __slots__ = ("items", "buffer_addr", "capacity")
+    type_name = "list"
+
+    def __init__(self, items: list[GuestObject] | None = None) -> None:
+        super().__init__()
+        self.items = items if items is not None else []
+        self.buffer_addr = 0
+        self.capacity = max(len(self.items), 4)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 32  # ob_item pointer, size, allocated
+
+    def buffer_bytes(self) -> int:
+        return self.capacity * 8
+
+    def is_truthy(self) -> bool:
+        return bool(self.items)
+
+
+class PyTuple(GuestObject):
+    __slots__ = ("items",)
+    type_name = "tuple"
+
+    def __init__(self, items: tuple[GuestObject, ...]) -> None:
+        super().__init__()
+        self.items = items
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 8 + 8 * len(self.items)
+
+    def is_truthy(self) -> bool:
+        return bool(self.items)
+
+
+class PyDict(GuestObject):
+    """Guest dict. Keys are stored by raw (unboxed) value.
+
+    ``entries`` maps the raw key to a ``(key_object, value_object)`` pair
+    so key iteration can return real guest objects.
+    """
+
+    __slots__ = ("entries", "table_addr", "table_slots")
+    type_name = "dict"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entries: dict[object, tuple[GuestObject, GuestObject]] = {}
+        self.table_addr = 0
+        self.table_slots = 8
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 48
+
+    def table_bytes(self) -> int:
+        return self.table_slots * 24  # hash, key, value per slot
+
+    def is_truthy(self) -> bool:
+        return bool(self.entries)
+
+
+class PyRange(GuestObject):
+    __slots__ = ("start", "stop", "step")
+    type_name = "range"
+
+    def __init__(self, start: int, stop: int, step: int = 1) -> None:
+        super().__init__()
+        self.start = start
+        self.stop = stop
+        self.step = step
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 24
+
+    def __len__(self) -> int:
+        if self.step > 0:
+            span = self.stop - self.start
+        else:
+            span = self.start - self.stop
+        step = abs(self.step)
+        return max(0, (span + step - 1) // step)
+
+    def is_truthy(self) -> bool:
+        return len(self) > 0
+
+
+class PySlice(GuestObject):
+    __slots__ = ("start", "stop")
+    type_name = "slice"
+
+    def __init__(self, start: GuestObject, stop: GuestObject) -> None:
+        super().__init__()
+        self.start = start
+        self.stop = stop
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 24
+
+
+class PyFunc(GuestObject):
+    __slots__ = ("code",)
+    type_name = "function"
+
+    def __init__(self, code) -> None:
+        super().__init__()
+        self.code = code
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 48
+
+
+class PyBuiltin(GuestObject):
+    """A modeled C function exposed to the guest (len, range, pickle...).
+
+    ``inline_ok`` marks core object-protocol helpers (``list.append``,
+    ``len``...) that a tracing JIT inlines into compiled code; external C
+    library functions (pickle, regex, math) can never be inlined, which
+    is why C-call overhead survives under JIT (paper Section IV-C.2).
+    """
+
+    __slots__ = ("name", "handler", "inline_ok", "clib")
+    type_name = "builtin_function_or_method"
+
+    def __init__(self, name: str, handler, inline_ok: bool = False,
+                 clib: bool = False) -> None:
+        super().__init__()
+        self.name = name
+        self.handler = handler
+        self.inline_ok = inline_ok
+        #: True for external C library entry points (pickle, re, math...):
+        #: time inside them is accounted as C library time.
+        self.clib = clib
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 32
+
+
+class PyClass(GuestObject):
+    __slots__ = ("name", "methods")
+    type_name = "type"
+
+    def __init__(self, name: str, methods: dict[str, PyFunc]) -> None:
+        super().__init__()
+        self.name = name
+        self.methods = methods
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 64
+
+
+class PyInstance(GuestObject):
+    __slots__ = ("cls", "attrs")
+
+    def __init__(self, cls: PyClass) -> None:
+        super().__init__()
+        self.cls = cls
+        self.attrs: dict[str, GuestObject] = {}
+
+    @property
+    def type_name(self) -> str:  # type: ignore[override]
+        return self.cls.name
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 16  # instance dict pointer + class pointer
+
+    def attrs_bytes(self) -> int:
+        return 48 + 24 * max(8, len(self.attrs))
+
+
+class PyBoundMethod(GuestObject):
+    __slots__ = ("instance", "func")
+    type_name = "method"
+
+    def __init__(self, instance: PyInstance, func: PyFunc) -> None:
+        super().__init__()
+        self.instance = instance
+        self.func = func
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 16
+
+
+class PyIterator(GuestObject):
+    """Iterator over a list/tuple/range/str/dict-keys snapshot."""
+
+    __slots__ = ("kind", "source", "index")
+    type_name = "iterator"
+
+    def __init__(self, kind: str, source: object) -> None:
+        super().__init__()
+        self.kind = kind
+        self.source = source
+        self.index = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 16
+
+
+NONE = PyNone()
+TRUE = PyBool(True)
+FALSE = PyBool(False)
+
+
+def raw_key(obj: GuestObject) -> object:
+    """Convert a guest object to a hashable raw key for dict storage."""
+    if isinstance(obj, (PyInt, PyFloat, PyStr)):
+        return obj.value
+    if isinstance(obj, PyBool):
+        # Match Python semantics: True == 1 as a dict key.
+        return int(obj.value)
+    if isinstance(obj, PyNone):
+        return None
+    if isinstance(obj, PyTuple):
+        return tuple(raw_key(item) for item in obj.items)
+    if isinstance(obj, (PyInstance, PyClass, PyFunc, PyBuiltin)):
+        return ("id", id(obj))
+    raise GuestTypeError(f"unhashable type: {obj.type_name}")
+
+
+def gc_children(obj: GuestObject):
+    """Yield the guest objects directly referenced by ``obj``."""
+    if isinstance(obj, PyList):
+        yield from obj.items
+    elif isinstance(obj, PyTuple):
+        yield from obj.items
+    elif isinstance(obj, PyDict):
+        for key_obj, value_obj in obj.entries.values():
+            yield key_obj
+            yield value_obj
+    elif isinstance(obj, PyInstance):
+        yield obj.cls
+        yield from obj.attrs.values()
+    elif isinstance(obj, PyBoundMethod):
+        yield obj.instance
+        yield obj.func
+    elif isinstance(obj, PyClass):
+        yield from obj.methods.values()
+    elif isinstance(obj, PySlice):
+        yield obj.start
+        yield obj.stop
+    elif isinstance(obj, PyIterator):
+        if isinstance(obj.source, GuestObject):
+            yield obj.source
+
+
+def guest_repr(obj: GuestObject) -> str:
+    """Render a guest object for diagnostics and example output."""
+    if isinstance(obj, (PyInt, PyFloat)):
+        return repr(obj.value)
+    if isinstance(obj, PyBool):
+        return "True" if obj.value else "False"
+    if isinstance(obj, PyNone):
+        return "None"
+    if isinstance(obj, PyStr):
+        return repr(obj.value)
+    if isinstance(obj, PyList):
+        return "[" + ", ".join(guest_repr(i) for i in obj.items) + "]"
+    if isinstance(obj, PyTuple):
+        return "(" + ", ".join(guest_repr(i) for i in obj.items) + ")"
+    if isinstance(obj, PyDict):
+        parts = [f"{guest_repr(k)}: {guest_repr(v)}"
+                 for k, v in obj.entries.values()]
+        return "{" + ", ".join(parts) + "}"
+    if isinstance(obj, PyRange):
+        return f"range({obj.start}, {obj.stop}, {obj.step})"
+    if isinstance(obj, PyInstance):
+        return f"<{obj.cls.name} instance>"
+    return f"<{obj.type_name}>"

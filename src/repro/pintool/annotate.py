@@ -1,0 +1,66 @@
+"""Annotation tables for the interpreter binary.
+
+Most interpreter instructions carry their category directly in the trace
+(the "instruction granularity" case of Section IV-B). Functions whose
+category depends on the *caller* — the paper's example is the dictionary
+lookup used both for variable name resolution and for guest-program map
+operations — are emitted with the UNRESOLVED category plus an origin PC,
+and resolved here.
+
+The table is keyed on site *names*; at post-processing time it is bound
+to the concrete PCs of a particular :class:`~repro.host.HostMachine`,
+mirroring how the paper matches source lines to PC values via debug info.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..categories import OverheadCategory
+
+_NAME = OverheadCategory.NAME_RESOLUTION
+_EXEC = OverheadCategory.EXECUTE
+
+
+@dataclass
+class AnnotationTable:
+    """Origin-dependent category rules for function-granularity sites."""
+
+    #: origin site name -> category for UNRESOLVED instructions reached
+    #: from that origin.
+    origin_rules: dict[str, OverheadCategory] = field(default_factory=dict)
+    #: Category when no origin rule matches.
+    default_category: OverheadCategory = _EXEC
+
+    def bind(self, site_table: dict[str, int]) -> dict[int, int]:
+        """Map concrete origin PCs to category values for one machine.
+
+        Site names are interned to PC blocks per machine, so the binding
+        must be redone for each :class:`HostMachine` — exactly once, like
+        the paper's one-time interpreter annotation.
+        """
+        bound: dict[int, int] = {}
+        for name, category in self.origin_rules.items():
+            pc = site_table.get(name)
+            if pc is not None:
+                bound[pc] = int(category)
+        return bound
+
+
+def default_annotations() -> AnnotationTable:
+    """The annotation table for the modeled CPython/PyPy interpreters.
+
+    ``lookdict`` reached from name-binding opcodes is name resolution;
+    reached from guest map operations it is part of the program's own
+    work (EXECUTE) — the caller-dependent case of Section IV-B.
+    """
+    return AnnotationTable(origin_rules={
+        "ceval.handler.LOAD_GLOBAL": _NAME,
+        "ceval.handler.STORE_GLOBAL": _NAME,
+        "ceval.handler.LOAD_METHOD": _NAME,
+        "ceval.handler.LOAD_ATTR": _NAME,
+        "ceval.handler.STORE_ATTR": _NAME,
+        "ceval.handler.BINARY_SUBSCR.dict": _EXEC,
+        "ceval.handler.STORE_SUBSCR.dict": _EXEC,
+        "ceval.handler.COMPARE_OP.contains": _EXEC,
+    }, default_category=_EXEC)

@@ -1,0 +1,121 @@
+"""Per-PC statistics collection (the Pin-tool half of Section IV-B.1).
+
+The paper's Pin tool exports, for each static instruction of interest,
+the total execution time at that PC, plus the origin PC for functions
+annotated at function granularity. :class:`StatsCollector` reproduces
+that export from a finished trace; the result can be serialized and fed
+to post-processing separately, mirroring the paper's two-stage pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..host.trace import InstructionTrace
+
+
+@dataclass
+class PCStats:
+    """Aggregate statistics for one static instruction."""
+
+    pc: int
+    count: int = 0
+    cycles: float = 0.0
+    #: cycles attributed per origin PC (caller-dependent sites only).
+    by_origin: dict[int, float] = field(default_factory=dict)
+
+
+class StatsCollector:
+    """Aggregates a trace into per-PC statistics."""
+
+    def __init__(self, track_origins: bool = True) -> None:
+        self.track_origins = track_origins
+        self.stats: dict[int, PCStats] = {}
+        self.total_instructions = 0
+        self.total_cycles = 0.0
+
+    def collect(self, trace: InstructionTrace,
+                cycles: np.ndarray | None = None) -> None:
+        """Aggregate one trace; ``cycles`` defaults to one per instruction."""
+        arrays = trace.arrays()
+        pcs = arrays["pc"]
+        n = len(pcs)
+        if n == 0:
+            return
+        if cycles is None:
+            cycles = np.ones(n, dtype=np.float64)
+        if len(cycles) != n:
+            raise ValueError("cycles array must match trace length")
+        self.total_instructions += n
+        self.total_cycles += float(cycles.sum())
+
+        unique_pcs, inverse = np.unique(pcs, return_inverse=True)
+        counts = np.bincount(inverse)
+        cycle_sums = np.bincount(inverse, weights=cycles)
+        for pc, count, cyc in zip(unique_pcs.tolist(), counts.tolist(),
+                                  cycle_sums.tolist()):
+            entry = self.stats.get(pc)
+            if entry is None:
+                entry = PCStats(pc=pc)
+                self.stats[pc] = entry
+            entry.count += count
+            entry.cycles += cyc
+
+        if self.track_origins:
+            origins = arrays["origin"]
+            keys = (pcs.astype(np.int64) << 20) ^ origins.astype(np.int64)
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            key_cycles = np.bincount(inverse, weights=cycles)
+            first_idx = np.zeros(len(unique_keys), dtype=np.int64)
+            seen: dict[int, int] = {}
+            keys_list = keys.tolist()
+            for i, key in enumerate(keys_list):
+                if key not in seen:
+                    seen[key] = i
+            for j, key in enumerate(unique_keys.tolist()):
+                first_idx[j] = seen[key]
+            for j in range(len(unique_keys)):
+                i = int(first_idx[j])
+                pc = int(pcs[i])
+                origin = int(origins[i])
+                entry = self.stats[pc]
+                entry.by_origin[origin] = (
+                    entry.by_origin.get(origin, 0.0)
+                    + float(key_cycles[j]))
+
+    def export(self, path: str | Path) -> None:
+        """Serialize the per-PC statistics (the Pin tool's output file)."""
+        payload = {
+            "total_instructions": self.total_instructions,
+            "total_cycles": self.total_cycles,
+            "pcs": [
+                {
+                    "pc": entry.pc,
+                    "count": entry.count,
+                    "cycles": entry.cycles,
+                    "by_origin": {str(k): v
+                                  for k, v in entry.by_origin.items()},
+                }
+                for entry in self.stats.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "StatsCollector":
+        """Reload an exported statistics file."""
+        payload = json.loads(Path(path).read_text())
+        collector = cls()
+        collector.total_instructions = payload["total_instructions"]
+        collector.total_cycles = payload["total_cycles"]
+        for item in payload["pcs"]:
+            entry = PCStats(pc=item["pc"], count=item["count"],
+                            cycles=item["cycles"])
+            entry.by_origin = {int(k): v
+                               for k, v in item["by_origin"].items()}
+            collector.stats[entry.pc] = entry
+        return collector

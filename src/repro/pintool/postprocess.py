@@ -1,0 +1,137 @@
+"""Post-processing: origin resolution and breakdown assembly (IV-B.3).
+
+Takes a finished trace plus the machine's site table, resolves every
+UNRESOLVED instruction to a concrete category using the annotation
+table's origin rules, attributes simple-core cycles per category, and
+returns a :class:`Breakdown` — the data behind Figures 4, 5, 6, 11 and
+13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..categories import (
+    C_LIBRARY_SHARE_CATEGORIES,
+    LANGUAGE_FEATURE_CATEGORIES,
+    INTERPRETER_CATEGORIES,
+    OVERHEAD_CATEGORIES,
+    OverheadCategory,
+    label_of,
+)
+from ..config import MachineConfig, skylake_config
+from ..host.machine import HostMachine
+from ..host.trace import InstructionTrace
+from ..uarch.cache import simulate_cache_hierarchy
+from ..uarch.simple_core import simple_core_cycles
+from .annotate import AnnotationTable, default_annotations
+
+_UNRESOLVED = int(OverheadCategory.UNRESOLVED)
+
+
+def resolve_categories(trace: InstructionTrace,
+                       site_table: dict[str, int],
+                       annotations: AnnotationTable | None = None,
+                       ) -> np.ndarray:
+    """Return the category column with UNRESOLVED entries resolved.
+
+    Resolution uses the recorded origin PC and the annotation table, the
+    way the paper's post-processing maps (function, origin PC) pairs to
+    categories.
+    """
+    if annotations is None:
+        annotations = default_annotations()
+    arrays = trace.arrays()
+    categories = arrays["category"].astype(np.int64).copy()
+    unresolved = categories == _UNRESOLVED
+    if not unresolved.any():
+        return categories
+    bound = annotations.bind(site_table)
+    origins = arrays["origin"][unresolved]
+    resolved = np.full(len(origins), int(annotations.default_category),
+                       dtype=np.int64)
+    for origin_pc, category in bound.items():
+        resolved[origins == origin_pc] = category
+    categories[unresolved] = resolved
+    return categories
+
+
+@dataclass
+class Breakdown:
+    """Per-category cycle attribution for one run."""
+
+    runtime: str
+    workload: str
+    cycles: dict[OverheadCategory, float] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    def share(self, category: OverheadCategory) -> float:
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.cycles.get(category, 0.0) / total
+
+    def group_share(self, categories) -> float:
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return sum(self.cycles.get(c, 0.0) for c in categories) / total
+
+    @property
+    def overhead_share(self) -> float:
+        """Fraction of cycles in Table II overhead categories."""
+        return self.group_share(OVERHEAD_CATEGORIES)
+
+    @property
+    def language_share(self) -> float:
+        """Figure 4(a): additional + dynamic language features."""
+        return self.group_share(LANGUAGE_FEATURE_CATEGORIES)
+
+    @property
+    def interpreter_share(self) -> float:
+        """Figure 4(b): interpreter operations."""
+        return self.group_share(INTERPRETER_CATEGORIES)
+
+    @property
+    def c_library_share(self) -> float:
+        return self.group_share(C_LIBRARY_SHARE_CATEGORIES)
+
+    @property
+    def c_function_call_share(self) -> float:
+        return self.share(OverheadCategory.C_FUNCTION_CALL)
+
+    @property
+    def gc_share(self) -> float:
+        return self.share(OverheadCategory.GARBAGE_COLLECTION)
+
+    def top_categories(self, n: int = 5) -> list[tuple[str, float]]:
+        ranked = sorted(self.cycles.items(), key=lambda kv: -kv[1])
+        return [(label_of(cat), self.share(cat)) for cat, _ in ranked[:n]]
+
+
+def compute_breakdown(trace: InstructionTrace, machine: HostMachine,
+                      config: MachineConfig | None = None,
+                      runtime: str = "cpython",
+                      workload: str = "<unknown>",
+                      annotations: AnnotationTable | None = None,
+                      ) -> Breakdown:
+    """Full pipeline: cache sim, simple-core cycles, origin resolution."""
+    if config is None:
+        config = skylake_config()
+    arrays = trace.arrays()
+    cache_result = simulate_cache_hierarchy(arrays, config)
+    cycles = simple_core_cycles(cache_result.dlevel, cache_result.ilevel,
+                                config)
+    categories = resolve_categories(trace, machine.site_table, annotations)
+    sums = np.bincount(categories, weights=cycles, minlength=32)
+    breakdown = Breakdown(runtime=runtime, workload=workload)
+    for category in OverheadCategory:
+        value = float(sums[int(category)])
+        if value > 0:
+            breakdown.cycles[category] = value
+    return breakdown

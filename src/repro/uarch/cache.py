@@ -1,0 +1,190 @@
+"""Set-associative cache hierarchy with LRU replacement.
+
+The hierarchy mirrors Table I: split L1I/L1D backed by a unified L2 and a
+last-level cache. Lookups walk down the levels; a miss at the LLC is
+serviced by memory. Lines written at any level are tracked so evictions
+of dirty lines can be charged as writeback traffic for the bandwidth
+model.
+
+Service levels returned by the simulation functions are encoded as:
+
+====  =================================
+-1    not a memory access
+ 0    L1 hit
+ 1    L2 hit
+ 2    L3 (LLC) hit
+ 3    serviced by main memory
+====  =================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import CacheConfig, MachineConfig
+from ..host.isa import InstrKind
+
+SERVICE_NONE = -1
+SERVICE_L1 = 0
+SERVICE_L2 = 1
+SERVICE_L3 = 2
+SERVICE_MEM = 3
+
+
+@dataclass
+class CacheStats:
+    """Per-level access/miss counters plus traffic for the DRAM model."""
+
+    name: str
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Level:
+    """One cache level. Sets are MRU-ordered lists of tags."""
+
+    __slots__ = ("config", "stats", "sets", "set_mask", "line_bits",
+                 "ways", "dirty")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats(config.name)
+        num_sets = config.num_sets
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.set_mask = num_sets - 1
+        self.line_bits = config.line_size.bit_length() - 1
+        self.ways = config.ways
+        self.dirty: set[int] = set()
+
+    def access(self, line: int, write: bool) -> bool:
+        """Look up one line; returns True on hit. Updates LRU and dirty."""
+        stats = self.stats
+        stats.accesses += 1
+        set_idx = line & self.set_mask
+        tag = line >> 1  # any injective function of the line id works
+        ways = self.sets[set_idx]
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            stats.misses += 1
+            ways.insert(0, tag)
+            if len(ways) > self.ways:
+                victim = ways.pop()
+                stats.evictions += 1
+                if (set_idx, victim) in self.dirty:
+                    self.dirty.discard((set_idx, victim))
+                    stats.writebacks += 1
+            if write:
+                self.dirty.add((set_idx, tag))
+            return False
+        if pos:
+            ways.insert(0, ways.pop(pos))
+        if write:
+            self.dirty.add((set_idx, tag))
+        return True
+
+
+class CacheHierarchy:
+    """L1I + L1D + unified L2 + LLC, non-inclusive."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.l1i = _Level(config.l1i)
+        self.l1d = _Level(config.l1d)
+        self.l2 = _Level(config.l2)
+        self.l3 = _Level(config.l3)
+        self.line_size = config.l1d.line_size
+        self.line_bits = self.line_size.bit_length() - 1
+
+    def data_access(self, line: int, write: bool) -> int:
+        """Walk the data path for one line; return the service level."""
+        if self.l1d.access(line, write):
+            return SERVICE_L1
+        if self.l2.access(line, write):
+            return SERVICE_L2
+        if self.l3.access(line, write):
+            return SERVICE_L3
+        return SERVICE_MEM
+
+    def fetch_access(self, line: int) -> int:
+        """Walk the instruction-fetch path for one line."""
+        if self.l1i.access(line, False):
+            return SERVICE_L1
+        if self.l2.access(line, False):
+            return SERVICE_L2
+        if self.l3.access(line, False):
+            return SERVICE_L3
+        return SERVICE_MEM
+
+    def stats(self) -> dict[str, CacheStats]:
+        return {"L1I": self.l1i.stats, "L1D": self.l1d.stats,
+                "L2": self.l2.stats, "L3": self.l3.stats}
+
+
+@dataclass
+class HierarchySimResult:
+    """Per-instruction service levels plus per-level counters."""
+
+    dlevel: np.ndarray   # int8, SERVICE_* per instruction (-1 if not mem)
+    ilevel: np.ndarray   # int8, fetch service level (0 if same-line fetch)
+    stats: dict[str, CacheStats] = field(default_factory=dict)
+    mem_lines: int = 0   # lines transferred from memory (fills + writebacks)
+
+    @property
+    def llc_miss_rate(self) -> float:
+        llc = self.stats["L3"]
+        return llc.miss_rate
+
+
+def simulate_cache_hierarchy(trace_arrays: dict[str, np.ndarray],
+                             config: MachineConfig) -> HierarchySimResult:
+    """Run the whole trace through a fresh cache hierarchy.
+
+    Instruction fetch is simulated at line granularity: consecutive
+    instructions on the same line share one fetch access, the way a fetch
+    buffer would.
+    """
+    hierarchy = CacheHierarchy(config)
+    n = len(trace_arrays["pc"])
+    dlevel = np.full(n, SERVICE_NONE, dtype=np.int8)
+    ilevel = np.zeros(n, dtype=np.int8)
+    if n == 0:
+        return HierarchySimResult(dlevel, ilevel, hierarchy.stats(), 0)
+
+    line_bits = hierarchy.line_bits
+    kinds = trace_arrays["kind"]
+    addrs = trace_arrays["addr"]
+
+    # --- data path -----------------------------------------------------
+    mem_mask = (kinds == int(InstrKind.LOAD)) | \
+               (kinds == int(InstrKind.STORE))
+    mem_idx = np.nonzero(mem_mask)[0]
+    if len(mem_idx):
+        mem_lines = (addrs[mem_idx] >> line_bits).tolist()
+        mem_writes = (kinds[mem_idx] == int(InstrKind.STORE)).tolist()
+        access = hierarchy.data_access
+        results = [access(line, write)
+                   for line, write in zip(mem_lines, mem_writes)]
+        dlevel[mem_idx] = results
+
+    # --- instruction fetch path -----------------------------------------
+    pc_lines = trace_arrays["pc"] >> line_bits
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    np.not_equal(pc_lines[1:], pc_lines[:-1], out=change[1:])
+    fetch_idx = np.nonzero(change)[0]
+    fetch_lines = pc_lines[fetch_idx].tolist()
+    fetch = hierarchy.fetch_access
+    ilevel[fetch_idx] = [fetch(line) for line in fetch_lines]
+
+    stats = hierarchy.stats()
+    mem_lines_moved = (stats["L3"].misses + stats["L3"].writebacks)
+    return HierarchySimResult(dlevel, ilevel, stats, mem_lines_moved)

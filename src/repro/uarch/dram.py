@@ -1,0 +1,45 @@
+"""DDR4-2400-analog main memory model.
+
+DRAMSim2 in the paper's setup contributes two first-order effects: a fixed
+access latency (Table I: 173 cycles) and a finite bandwidth that throttles
+miss streams (Figure 7f sweeps 200 MBps to 25.6 GBps). Both are captured
+here; banks, rows, and scheduling are below the fidelity the paper's
+figures depend on.
+"""
+
+from __future__ import annotations
+
+from ..config import MemoryConfig
+
+
+class DramModel:
+    """Latency plus token-bucket bandwidth accounting."""
+
+    def __init__(self, config: MemoryConfig, line_size: int = 64) -> None:
+        self.config = config
+        self.line_size = line_size
+        self.bytes_transferred = 0
+        self.accesses = 0
+
+    @property
+    def latency(self) -> int:
+        return self.config.latency
+
+    def line_transfer_cycles(self) -> float:
+        """Cycles of bus occupancy one line transfer consumes."""
+        return self.line_size / self.config.bytes_per_cycle
+
+    def record_access(self, lines: int = 1) -> None:
+        """Account traffic for ``lines`` line transfers (fill or writeback)."""
+        self.accesses += lines
+        self.bytes_transferred += lines * self.line_size
+
+    def earliest_start(self, now: float) -> float:
+        """Earliest cycle a new transfer may start given past traffic.
+
+        With a token-bucket model, all previously transferred bytes must fit
+        under the bandwidth envelope before a new request can occupy the
+        bus. Returns ``now`` when bandwidth is not the bottleneck.
+        """
+        required = self.bytes_transferred / self.config.bytes_per_cycle
+        return required if required > now else now

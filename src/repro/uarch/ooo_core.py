@@ -1,0 +1,162 @@
+"""Approximate out-of-order core model for the Figure 7-9 sweeps.
+
+A single in-order pass computes, for every instruction, the earliest cycle
+it can issue and finish under five constraints:
+
+1. **Issue bandwidth** — the front end delivers ``issue_width``
+   instructions per cycle.
+2. **Register dependences** — an instruction cannot start before the
+   producer recorded in the trace's ``dep`` column has finished. This is
+   what gives interpreters their characteristically low ILP: the dispatch
+   loop is one long serial chain.
+3. **ROB window** — instruction *i* cannot issue before instruction
+   *i - rob_entries* has finished (retirement frees the slot).
+4. **Branch mispredictions** — a mispredicted branch restarts the front
+   end ``mispredict_penalty`` cycles after it resolves.
+5. **Memory bandwidth** — off-chip line transfers (fills and writebacks)
+   occupy the bus under a token-bucket envelope; when the envelope is
+   exhausted, memory-serviced accesses are delayed.
+6. **Outstanding misses (MSHRs)** — at most ``_MSHRS`` off-chip misses
+   may be in flight; a streaming miss sequence is therefore throttled to
+   ``MSHRS / memory_latency`` lines per cycle, which is what makes
+   memory *latency* matter even for store streams (Figure 7e).
+
+Loads see the full load-to-use latency of whichever cache level serviced
+them. Stores retire through a write buffer (latency 1) but their fills
+occupy an MSHR for the full memory latency and consume bus bandwidth.
+Independent misses overlap up to the MSHR limit — memory-level
+parallelism falls out of the dependence model rather than being a
+parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..host.isa import KIND_LATENCY, InstrKind
+
+_RING = 4096  # must exceed both the ROB size and the largest dep distance
+
+#: Maximum off-chip misses in flight (miss status holding registers).
+_MSHRS = 10
+
+_LOAD = int(InstrKind.LOAD)
+_STORE = int(InstrKind.STORE)
+
+
+def _load_latencies(config: MachineConfig) -> list[float]:
+    """Load-to-use latency per service level (index: SERVICE_* value)."""
+    l1 = float(config.l1d.latency)
+    l2 = l1 + config.l2.latency
+    l3 = l2 + config.l3.latency
+    mem = l3 + config.memory.latency
+    return [l1, l2, l3, mem]
+
+
+def _fetch_penalties(config: MachineConfig) -> list[float]:
+    """Front-end bubble per instruction-fetch service level."""
+    return [0.0,
+            float(config.l2.latency),
+            float(config.l2.latency + config.l3.latency),
+            float(config.l2.latency + config.l3.latency
+                  + config.memory.latency)]
+
+
+def ooo_cycles(trace_arrays: dict[str, np.ndarray], dlevel: np.ndarray,
+               ilevel: np.ndarray, mispredicted: np.ndarray,
+               config: MachineConfig) -> float:
+    """Total cycles to execute the trace on the approximate OOO core."""
+    n = len(trace_arrays["pc"])
+    if n == 0:
+        return 0.0
+
+    kinds = trace_arrays["kind"].tolist()
+    deps = trace_arrays["dep"].tolist()
+    dlev = dlevel.tolist()
+    ilev = ilevel.tolist()
+    misp = mispredicted.tolist()
+
+    issue_interval = 1.0 / config.core.issue_width
+    # Fetch bandwidth: instructions are ~4 bytes, so fetch_bytes/4 per cycle.
+    fetch_interval = 4.0 / config.core.fetch_bytes
+    front_interval = max(issue_interval, fetch_interval)
+    rob = config.core.rob_entries
+    penalty = float(config.branch.mispredict_penalty)
+    load_lat = _load_latencies(config)
+    fetch_pen = _fetch_penalties(config)
+    kind_lat = [float(KIND_LATENCY[InstrKind(k)]) for k in range(10)]
+    line_size = config.l1d.line_size
+    bytes_per_cycle = config.memory.bytes_per_cycle
+
+    fin = [0.0] * _RING
+    front = 0.0           # next front-end delivery time
+    mem_bytes = 0.0       # cumulative off-chip traffic
+    mem_latency = float(config.memory.latency)
+    miss_ring = [0.0] * _MSHRS
+    miss_count = 0
+    last_finish = 0.0
+
+    for i in range(n):
+        start = front
+        front += front_interval
+
+        level = ilev[i]
+        if level > 0:
+            bubble = fetch_pen[level]
+            front += bubble
+            start += bubble
+            mem_bytes += line_size if level == 3 else 0.0
+
+        dep = deps[i]
+        if dep > 0 and dep <= i and dep < _RING:
+            producer = fin[(i - dep) % _RING]
+            if producer > start:
+                start = producer
+        if i >= rob:
+            oldest = fin[(i - rob) % _RING]
+            if oldest > start:
+                start = oldest
+
+        kind = kinds[i]
+        if kind == _LOAD:
+            service = dlev[i]
+            if service == 3:
+                mem_bytes += line_size
+                bus_ready = mem_bytes / bytes_per_cycle - mem_latency
+                if bus_ready > start:
+                    start = bus_ready
+                mshr_free = miss_ring[miss_count % _MSHRS]
+                if mshr_free > start:
+                    start = mshr_free
+                miss_ring[miss_count % _MSHRS] = start + mem_latency
+                miss_count += 1
+            latency = load_lat[service] if service >= 0 else kind_lat[kind]
+        elif kind == _STORE:
+            if dlev[i] == 3:
+                mem_bytes += line_size
+                bus_ready = mem_bytes / bytes_per_cycle - mem_latency
+                if bus_ready > start:
+                    start = bus_ready
+                mshr_free = miss_ring[miss_count % _MSHRS]
+                if mshr_free > start:
+                    start = mshr_free
+                # The store itself retires via the write buffer, but its
+                # fill occupies an MSHR for the full memory latency.
+                miss_ring[miss_count % _MSHRS] = start + mem_latency
+                miss_count += 1
+            latency = 1.0
+        else:
+            latency = kind_lat[kind]
+
+        finish = start + latency
+        fin[i % _RING] = finish
+        if finish > last_finish:
+            last_finish = finish
+
+        if misp[i]:
+            restart = finish + penalty
+            if restart > front:
+                front = restart
+
+    return max(last_finish, front)

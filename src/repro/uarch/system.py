@@ -1,0 +1,114 @@
+"""Whole-system simulation: trace in, cycles and statistics out.
+
+:class:`SimulatedSystem` wires the cache hierarchy, branch predictor, DRAM
+model, and a core model together. The memory-side state (cache service
+levels, branch mispredict flags) is computed once per (trace, machine
+config) and can be reused across core-model parameters — the experiment
+sweeps exploit this so that, say, an issue-width sweep does not re-run the
+cache simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MachineConfig, skylake_config
+from ..host.trace import InstructionTrace
+from .branch import BranchStats, simulate_branches
+from .cache import CacheStats, simulate_cache_hierarchy
+from .ooo_core import ooo_cycles
+from .simple_core import attribute_cycles, simple_core_cycles
+
+
+@dataclass
+class MemorySideState:
+    """Cache and branch simulation outputs for one (trace, config) pair."""
+
+    dlevel: np.ndarray
+    ilevel: np.ndarray
+    cache_stats: dict[str, CacheStats]
+    mem_lines: int
+    mispredicted: np.ndarray
+    branch_stats: BranchStats
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.cache_stats["L3"].miss_rate
+
+
+@dataclass
+class SimResult:
+    """Timing result for one trace on one machine configuration."""
+
+    instructions: int
+    cycles: float
+    core_model: str
+    cache_stats: dict[str, CacheStats]
+    branch_stats: BranchStats
+    #: Cycles per category (simple core only; index = OverheadCategory).
+    category_cycles: np.ndarray | None = None
+    #: Per-instruction cycles (simple core only).
+    per_instruction: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.cache_stats["L3"].miss_rate
+
+
+class SimulatedSystem:
+    """The paper's Zsim-analog: Table I machine by default."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config if config is not None else skylake_config()
+
+    def memory_side(self, trace: InstructionTrace) -> MemorySideState:
+        """Run cache hierarchy and branch predictor over the trace."""
+        arrays = trace.arrays()
+        cache_result = simulate_cache_hierarchy(arrays, self.config)
+        mispredicted, branch_stats = simulate_branches(
+            arrays, self.config.branch)
+        return MemorySideState(
+            dlevel=cache_result.dlevel,
+            ilevel=cache_result.ilevel,
+            cache_stats=cache_result.stats,
+            mem_lines=cache_result.mem_lines,
+            mispredicted=mispredicted,
+            branch_stats=branch_stats)
+
+    def run(self, trace: InstructionTrace, core: str = "ooo",
+            state: MemorySideState | None = None) -> SimResult:
+        """Simulate the trace end to end.
+
+        ``core`` selects the timing model: ``"simple"`` for per-category
+        attribution (Section IV-B.2) or ``"ooo"`` for the sweeps.
+        A precomputed ``state`` may be passed to reuse memory-side results.
+        """
+        arrays = trace.arrays()
+        if state is None:
+            state = self.memory_side(trace)
+        if core == "simple":
+            per_instruction = simple_core_cycles(
+                state.dlevel, state.ilevel, self.config)
+            category_cycles = attribute_cycles(
+                arrays["category"], per_instruction)
+            cycles = float(per_instruction.sum())
+            return SimResult(
+                instructions=len(trace), cycles=cycles, core_model="simple",
+                cache_stats=state.cache_stats,
+                branch_stats=state.branch_stats,
+                category_cycles=category_cycles,
+                per_instruction=per_instruction)
+        if core == "ooo":
+            cycles = ooo_cycles(arrays, state.dlevel, state.ilevel,
+                                state.mispredicted, self.config)
+            return SimResult(
+                instructions=len(trace), cycles=cycles, core_model="ooo",
+                cache_stats=state.cache_stats,
+                branch_stats=state.branch_stats)
+        raise ValueError(f"unknown core model: {core!r}")

@@ -1,0 +1,13 @@
+"""Modeled run-times: CPython-style interpreter, PyPy analog, V8 analog.
+
+Each run-time executes MiniPy (or, for V8, MiniJS-style workloads)
+semantically in ordinary Python while emitting a categorized host
+instruction stream through :class:`repro.host.HostMachine`. The stream is
+what the pintool and microarchitecture models consume.
+"""
+
+from .base import BaseVM, Frame, RunStats
+from .cpython import CPythonVM
+from .pypy import PyPyVM
+
+__all__ = ["BaseVM", "Frame", "RunStats", "CPythonVM", "PyPyVM"]

@@ -1,0 +1,1000 @@
+"""Builtin functions, type methods, and modeled C library modules.
+
+Builtins are the guest's window into "C code": calling one goes through
+the C-extension interface in :meth:`BaseVM._call_object` (argument
+marshaling + C calling convention), and the work *inside* is tagged
+either ``EXECUTE`` (core object-protocol helpers such as ``list.append``)
+or ``C_LIBRARY`` (external library work: ``pickle``, ``json``, ``re``,
+``math``), matching how Section IV-C.1 separates C library time.
+
+The C library implementations perform real computation — ``pickle.dumps``
+really serializes and ``pickle.loads`` really parses — so benchmark
+results can be verified for correctness, while their emission cost scales
+with data size the way the native libraries' does.
+"""
+
+from __future__ import annotations
+
+import math as _math
+
+from ..categories import OverheadCategory
+from ..errors import (
+    GuestIndexError,
+    GuestKeyError,
+    GuestTypeError,
+    GuestValueError,
+)
+from ..objects.model import (
+    FALSE,
+    NONE,
+    TRUE,
+    GuestObject,
+    PyBool,
+    PyBuiltin,
+    PyDict,
+    PyFloat,
+
+    PyInt,
+    PyList,
+    PyNone,
+    PyRange,
+    PyStr,
+    PyTuple,
+    guest_repr,
+    raw_key,
+)
+
+_EXEC = int(OverheadCategory.EXECUTE)
+_CLIB = int(OverheadCategory.C_LIBRARY)
+_ALLOC = int(OverheadCategory.OBJECT_ALLOCATION)
+_ERROR = int(OverheadCategory.ERROR_CHECK)
+
+
+class PyModule(GuestObject):
+    """A modeled C extension module (math, pickle, json, re, rnd)."""
+
+    __slots__ = ("name", "functions")
+    type_name = "module"
+
+    def __init__(self, name: str, functions: dict[str, object]) -> None:
+        super().__init__()
+        self.name = name
+        self.functions = functions
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+# ----------------------------------------------------------------------
+# Emission helpers
+# ----------------------------------------------------------------------
+
+def _clib_alu(vm, label: str, n: int, cat: int = _CLIB) -> None:
+    vm.machine.alu(vm.machine.site(f"clib.{label}"), cat, n=n)
+
+
+def _clib_touch(vm, label: str, addr: int, nbytes: int,
+                write: bool = False, cat: int = _CLIB) -> None:
+    vm.machine.touch_range(vm.machine.site(f"clib.{label}"), cat,
+                           addr, nbytes, write=write)
+
+
+def _scratch(vm, nbytes: int) -> int:
+    """Working buffer inside the C library region (reused cyclically)."""
+    region = vm.machine.space.c_lib
+    if region.remaining < nbytes + 64:
+        region.reset()
+    return region.bump(max(nbytes, 16))
+
+
+def _expect_int(obj: GuestObject, what: str) -> int:
+    if isinstance(obj, (PyInt, PyBool)):
+        return int(obj.value)
+    raise GuestTypeError(f"{what} must be an integer, not "
+                         f"{obj.type_name!r}")
+
+
+def _expect_number(obj: GuestObject, what: str) -> float:
+    if isinstance(obj, (PyInt, PyFloat, PyBool)):
+        return float(obj.value)
+    raise GuestTypeError(f"{what} must be a number, not "
+                         f"{obj.type_name!r}")
+
+
+def _expect_str(obj: GuestObject, what: str) -> str:
+    if isinstance(obj, PyStr):
+        return obj.value
+    raise GuestTypeError(f"{what} must be a string, not "
+                         f"{obj.type_name!r}")
+
+
+def _arity(args: list, n: int, name: str) -> None:
+    if len(args) != n:
+        raise GuestTypeError(
+            f"{name}() takes {n} arguments ({len(args)} given)")
+
+
+# ----------------------------------------------------------------------
+# Core builtins
+# ----------------------------------------------------------------------
+
+def _bi_len(vm, args):
+    _arity(args, 1, "len")
+    obj = args[0]
+    _clib_alu(vm, "len", 2, cat=_EXEC)
+    vm.machine.load(vm.machine.site("clib.len.size"), _EXEC, obj.addr + 16)
+    if isinstance(obj, (PyList, PyTuple)):
+        return vm.make_int(len(obj.items))
+    if isinstance(obj, PyStr):
+        return vm.make_int(len(obj.value))
+    if isinstance(obj, PyDict):
+        return vm.make_int(len(obj.entries))
+    if isinstance(obj, PyRange):
+        return vm.make_int(len(obj))
+    raise GuestTypeError(f"object of type {obj.type_name!r} has no len()")
+
+
+def _bi_range(vm, args):
+    if not 1 <= len(args) <= 3:
+        raise GuestTypeError("range() takes 1 to 3 arguments")
+    values = [_expect_int(a, "range argument") for a in args]
+    if len(values) == 1:
+        rng = PyRange(0, values[0], 1)
+    elif len(values) == 2:
+        rng = PyRange(values[0], values[1], 1)
+    else:
+        if values[2] == 0:
+            raise GuestValueError("range() step must not be zero")
+        rng = PyRange(values[0], values[1], values[2])
+    vm.alloc_object(rng)
+    return rng
+
+
+def _bi_abs(vm, args):
+    _arity(args, 1, "abs")
+    _clib_alu(vm, "abs", 2, cat=_EXEC)
+    obj = args[0]
+    if isinstance(obj, (PyInt, PyBool)):
+        return vm.make_int(abs(int(obj.value)))
+    if isinstance(obj, PyFloat):
+        return vm.make_float(abs(obj.value))
+    raise GuestTypeError(f"bad operand type for abs(): {obj.type_name!r}")
+
+
+def _reduce_items(vm, args, name):
+    _arity(args, 1, name)
+    obj = args[0]
+    if isinstance(obj, (PyList, PyTuple)):
+        items = list(obj.items)
+        base = obj.buffer_addr if isinstance(obj, PyList) else obj.addr + 24
+        _clib_touch(vm, name, base, 8 * max(1, len(items)))
+        return items
+    if isinstance(obj, PyRange):
+        _clib_alu(vm, name, max(1, len(obj)))
+        return [vm.make_int(obj.start + i * obj.step)
+                for i in range(len(obj))]
+    raise GuestTypeError(f"{name}() argument must be a sequence")
+
+
+def _bi_sum(vm, args):
+    items = _reduce_items(vm, args, "sum")
+    _clib_alu(vm, "sum.loop", max(1, len(items)))
+    total = 0
+    for item in items:
+        total += _expect_number(item, "sum element")
+    if all(isinstance(i, (PyInt, PyBool)) for i in items):
+        return vm.make_int(int(total))
+    return vm.make_float(total)
+
+
+def _bi_min(vm, args):
+    if len(args) >= 2:
+        items = args
+    else:
+        items = _reduce_items(vm, args, "min")
+    if not items:
+        raise GuestValueError("min() of empty sequence")
+    _clib_alu(vm, "min.loop", max(1, len(items)))
+    best = items[0]
+    for item in items[1:]:
+        if vm._comparable_value(item) < vm._comparable_value(best):
+            best = item
+    vm.emit_incref(best)
+    return best
+
+
+def _bi_max(vm, args):
+    if len(args) >= 2:
+        items = args
+    else:
+        items = _reduce_items(vm, args, "max")
+    if not items:
+        raise GuestValueError("max() of empty sequence")
+    _clib_alu(vm, "max.loop", max(1, len(items)))
+    best = items[0]
+    for item in items[1:]:
+        if vm._comparable_value(item) > vm._comparable_value(best):
+            best = item
+    vm.emit_incref(best)
+    return best
+
+
+def _bi_ord(vm, args):
+    _arity(args, 1, "ord")
+    text = _expect_str(args[0], "ord() argument")
+    if len(text) != 1:
+        raise GuestTypeError("ord() expected a character")
+    _clib_alu(vm, "ord", 2, cat=_EXEC)
+    return vm.make_int(ord(text))
+
+
+def _bi_chr(vm, args):
+    _arity(args, 1, "chr")
+    value = _expect_int(args[0], "chr() argument")
+    if not 0 <= value < 0x110000:
+        raise GuestValueError("chr() arg not in range")
+    _clib_alu(vm, "chr", 2, cat=_EXEC)
+    return vm.make_str(chr(value))
+
+
+def _bi_int(vm, args):
+    _arity(args, 1, "int")
+    obj = args[0]
+    _clib_alu(vm, "int", 4)
+    if isinstance(obj, (PyInt, PyBool)):
+        return vm.make_int(int(obj.value))
+    if isinstance(obj, PyFloat):
+        return vm.make_int(int(obj.value))
+    if isinstance(obj, PyStr):
+        _clib_touch(vm, "int.parse", obj.addr + 32, max(1, len(obj.value)))
+        try:
+            return vm.make_int(int(obj.value.strip()))
+        except ValueError as exc:
+            raise GuestValueError(str(exc)) from exc
+    raise GuestTypeError(f"int() argument must be a number or string")
+
+
+def _bi_float(vm, args):
+    _arity(args, 1, "float")
+    obj = args[0]
+    _clib_alu(vm, "float", 4)
+    if isinstance(obj, (PyInt, PyFloat, PyBool)):
+        return vm.make_float(float(obj.value))
+    if isinstance(obj, PyStr):
+        _clib_touch(vm, "float.parse", obj.addr + 32,
+                    max(1, len(obj.value)))
+        try:
+            return vm.make_float(float(obj.value.strip()))
+        except ValueError as exc:
+            raise GuestValueError(str(exc)) from exc
+    raise GuestTypeError("float() argument must be a number or string")
+
+
+def _bi_str(vm, args):
+    _arity(args, 1, "str")
+    obj = args[0]
+    text = _to_text(obj)
+    _clib_alu(vm, "str", 2 + len(text) // 4)
+    return vm.make_str(text)
+
+
+def _to_text(obj: GuestObject) -> str:
+    if isinstance(obj, PyStr):
+        return obj.value
+    if isinstance(obj, PyBool):
+        return "True" if obj.value else "False"
+    if isinstance(obj, (PyInt, PyFloat)):
+        return str(obj.value)
+    if isinstance(obj, PyNone):
+        return "None"
+    return guest_repr(obj)
+
+
+def _bi_bool(vm, args):
+    _arity(args, 1, "bool")
+    _clib_alu(vm, "bool", 2, cat=_EXEC)
+    return TRUE if args[0].is_truthy() else FALSE
+
+
+def _bi_list(vm, args):
+    if not args:
+        return vm.make_list([])
+    _arity(args, 1, "list")
+    obj = args[0]
+    if isinstance(obj, (PyList, PyTuple)):
+        items = list(obj.items)
+        for item in items:
+            vm.emit_incref(item)
+        return vm.make_list(items)
+    if isinstance(obj, PyRange):
+        _clib_alu(vm, "list.range", max(1, len(obj)))
+        return vm.make_list([vm.make_int(obj.start + i * obj.step)
+                             for i in range(len(obj))])
+    if isinstance(obj, PyStr):
+        return vm.make_list([vm.make_str(ch) for ch in obj.value])
+    if isinstance(obj, PyDict):
+        keys = [entry[0] for entry in obj.entries.values()]
+        for key in keys:
+            vm.emit_incref(key)
+        return vm.make_list(keys)
+    raise GuestTypeError(f"list() argument must be iterable")
+
+
+def _bi_tuple(vm, args):
+    if not args:
+        return vm.make_tuple(())
+    lst = _bi_list(vm, args)
+    return vm.make_tuple(tuple(lst.items))
+
+
+def _bi_dict(vm, args):
+    if args:
+        raise GuestTypeError("dict() takes no arguments")
+    return vm.make_dict()
+
+
+def _bi_sorted(vm, args):
+    _arity(args, 1, "sorted")
+    items = _reduce_items(vm, args, "sorted")
+    n = max(1, len(items))
+    _clib_alu(vm, "sorted.cmp", n * max(1, n.bit_length()))
+    try:
+        ordered = sorted(items, key=vm._comparable_value)
+    except TypeError as exc:
+        raise GuestTypeError(str(exc)) from exc
+    for item in ordered:
+        vm.emit_incref(item)
+    return vm.make_list(list(ordered))
+
+
+def _bi_print(vm, args):
+    text = " ".join(_to_text(a) for a in args)
+    _clib_alu(vm, "print", 4 + len(text) // 8)
+    vm.output.append(text)
+    return NONE
+
+
+# ----------------------------------------------------------------------
+# Type methods (list / dict / str)
+# ----------------------------------------------------------------------
+
+def _m_list_append(vm, obj: PyList, args):
+    _arity(args, 1, "list.append")
+    item = args[0]
+    m = vm.machine
+    vm.emit_write_barrier(obj)
+    if len(obj.items) >= obj.capacity:
+        old_bytes = obj.buffer_bytes()
+        obj.capacity = max(4, obj.capacity + (obj.capacity >> 1) + 2)
+        new_addr = vm.alloc_buffer(obj.buffer_bytes())
+        _clib_touch(vm, "list.grow.read", obj.buffer_addr, old_bytes,
+                    cat=_ALLOC)
+        _clib_touch(vm, "list.grow.write", new_addr, old_bytes,
+                    write=True, cat=_ALLOC)
+        vm.free_buffer(obj.buffer_addr, old_bytes)
+        obj.buffer_addr = new_addr
+    m.store(m.site("clib.list.append"), _EXEC,
+            obj.buffer_addr + 8 * len(obj.items))
+    vm.emit_incref(item)
+    obj.items.append(item)
+    return NONE
+
+
+def _m_list_pop(vm, obj: PyList, args):
+    if len(args) > 1:
+        raise GuestTypeError("list.pop() takes at most one argument")
+    if not obj.items:
+        raise GuestIndexError("pop from empty list")
+    index = _expect_int(args[0], "pop index") if args else -1
+    if index < 0:
+        index += len(obj.items)
+    if not 0 <= index < len(obj.items):
+        raise GuestIndexError("pop index out of range")
+    m = vm.machine
+    m.load(m.site("clib.list.pop"), _EXEC, obj.buffer_addr + 8 * index)
+    moved = len(obj.items) - index - 1
+    if moved:
+        _clib_touch(vm, "list.pop.shift", obj.buffer_addr + 8 * index,
+                    8 * moved, write=True, cat=_EXEC)
+    return obj.items.pop(index)
+
+
+def _m_list_extend(vm, obj: PyList, args):
+    _arity(args, 1, "list.extend")
+    other = args[0]
+    if isinstance(other, (PyList, PyTuple)):
+        new_items = list(other.items)
+    elif isinstance(other, PyRange):
+        new_items = [vm.make_int(other.start + i * other.step)
+                     for i in range(len(other))]
+    else:
+        raise GuestTypeError("list.extend() argument must be a sequence")
+    for item in new_items:
+        _m_list_append(vm, obj, [item])
+    return NONE
+
+
+def _m_list_insert(vm, obj: PyList, args):
+    _arity(args, 2, "list.insert")
+    index = _expect_int(args[0], "insert index")
+    item = args[1]
+    if index < 0:
+        index = max(0, index + len(obj.items))
+    index = min(index, len(obj.items))
+    moved = len(obj.items) - index
+    if moved:
+        _clib_touch(vm, "list.insert.shift", obj.buffer_addr + 8 * index,
+                    8 * moved, write=True, cat=_EXEC)
+    vm.emit_incref(item)
+    obj.items.insert(index, item)
+    if len(obj.items) > obj.capacity:
+        obj.capacity = obj.capacity + (obj.capacity >> 1) + 2
+    return NONE
+
+
+def _m_list_remove(vm, obj: PyList, args):
+    _arity(args, 1, "list.remove")
+    target = vm._comparable_value(args[0])
+    for i, item in enumerate(obj.items):
+        vm.machine.load(vm.machine.site("clib.list.remove"), _EXEC,
+                        obj.buffer_addr + 8 * i)
+        if vm._comparable_value(item) == target:
+            removed = obj.items.pop(i)
+            vm.emit_decref(removed)
+            return NONE
+    raise GuestValueError("list.remove(x): x not in list")
+
+
+def _m_list_index(vm, obj: PyList, args):
+    _arity(args, 1, "list.index")
+    target = vm._comparable_value(args[0])
+    for i, item in enumerate(obj.items):
+        vm.machine.load(vm.machine.site("clib.list.index"), _EXEC,
+                        obj.buffer_addr + 8 * i)
+        if vm._comparable_value(item) == target:
+            return vm.make_int(i)
+    raise GuestValueError("value not in list")
+
+
+def _m_list_count(vm, obj: PyList, args):
+    _arity(args, 1, "list.count")
+    target = vm._comparable_value(args[0])
+    _clib_touch(vm, "list.count", obj.buffer_addr,
+                8 * max(1, len(obj.items)), cat=_EXEC)
+    count = sum(1 for item in obj.items
+                if vm._comparable_value(item) == target)
+    return vm.make_int(count)
+
+
+def _m_list_sort(vm, obj: PyList, args):
+    if args:
+        raise GuestTypeError("list.sort() takes no arguments")
+    n = max(1, len(obj.items))
+    _clib_alu(vm, "list.sort", n * max(1, n.bit_length()), cat=_EXEC)
+    _clib_touch(vm, "list.sort.data", obj.buffer_addr, 8 * n, write=True,
+                cat=_EXEC)
+    try:
+        obj.items.sort(key=vm._comparable_value)
+    except TypeError as exc:
+        raise GuestTypeError(str(exc)) from exc
+    return NONE
+
+
+def _m_list_reverse(vm, obj: PyList, args):
+    if args:
+        raise GuestTypeError("list.reverse() takes no arguments")
+    _clib_touch(vm, "list.reverse", obj.buffer_addr,
+                8 * max(1, len(obj.items)), write=True, cat=_EXEC)
+    obj.items.reverse()
+    return NONE
+
+
+def _m_dict_get(vm, obj: PyDict, args):
+    if not 1 <= len(args) <= 2:
+        raise GuestTypeError("dict.get() takes 1 or 2 arguments")
+    value = vm.dict_get(obj, args[0])
+    if value is None:
+        default = args[1] if len(args) == 2 else NONE
+        vm.emit_incref(default)
+        return default
+    vm.emit_incref(value)
+    return value
+
+
+def _m_dict_pop(vm, obj: PyDict, args):
+    if not 1 <= len(args) <= 2:
+        raise GuestTypeError("dict.pop() takes 1 or 2 arguments")
+    raw = raw_key(args[0])
+    vm.dict_get(obj, args[0])  # lookup emission
+    entry = obj.entries.pop(raw, None)
+    if entry is None:
+        if len(args) == 2:
+            return args[1]
+        raise GuestKeyError(f"key not found: {raw!r}")
+    vm.emit_decref(entry[0])
+    return entry[1]
+
+
+def _m_dict_keys(vm, obj: PyDict, args):
+    if args:
+        raise GuestTypeError("dict.keys() takes no arguments")
+    _clib_touch(vm, "dict.keys", obj.table_addr, obj.table_bytes(),
+                cat=_EXEC)
+    keys = [entry[0] for entry in obj.entries.values()]
+    for key in keys:
+        vm.emit_incref(key)
+    return vm.make_list(keys)
+
+
+def _m_dict_values(vm, obj: PyDict, args):
+    if args:
+        raise GuestTypeError("dict.values() takes no arguments")
+    _clib_touch(vm, "dict.values", obj.table_addr, obj.table_bytes(),
+                cat=_EXEC)
+    values = [entry[1] for entry in obj.entries.values()]
+    for value in values:
+        vm.emit_incref(value)
+    return vm.make_list(values)
+
+
+def _m_dict_items(vm, obj: PyDict, args):
+    if args:
+        raise GuestTypeError("dict.items() takes no arguments")
+    _clib_touch(vm, "dict.items", obj.table_addr, obj.table_bytes(),
+                cat=_EXEC)
+    pairs = []
+    for key, value in obj.entries.values():
+        vm.emit_incref(key)
+        vm.emit_incref(value)
+        pairs.append(vm.make_tuple((key, value)))
+    return vm.make_list(pairs)
+
+
+def _m_str_join(vm, obj: PyStr, args):
+    _arity(args, 1, "str.join")
+    seq = args[0]
+    if not isinstance(seq, (PyList, PyTuple)):
+        raise GuestTypeError("str.join() argument must be a sequence")
+    parts = []
+    for item in seq.items:
+        parts.append(_expect_str(item, "join element"))
+    result = obj.value.join(parts)
+    _clib_alu(vm, "str.join", 2 + len(parts), cat=_EXEC)
+    return vm.make_str(result)
+
+
+def _m_str_split(vm, obj: PyStr, args):
+    if len(args) > 1:
+        raise GuestTypeError("str.split() takes at most one argument")
+    _clib_touch(vm, "str.split", obj.addr + 32, max(1, len(obj.value)),
+                cat=_EXEC)
+    if args:
+        sep = _expect_str(args[0], "split separator")
+        pieces = obj.value.split(sep)
+    else:
+        pieces = obj.value.split()
+    return vm.make_list([vm.make_str(p) for p in pieces])
+
+
+def _str_simple(name: str, func):
+    def handler(vm, obj: PyStr, args):
+        if args:
+            raise GuestTypeError(f"str.{name}() takes no arguments")
+        _clib_touch(vm, f"str.{name}", obj.addr + 32,
+                    max(1, len(obj.value)), cat=_EXEC)
+        return vm.make_str(func(obj.value))
+    return handler
+
+
+def _m_str_replace(vm, obj: PyStr, args):
+    _arity(args, 2, "str.replace")
+    old = _expect_str(args[0], "replace target")
+    new = _expect_str(args[1], "replace value")
+    _clib_touch(vm, "str.replace", obj.addr + 32,
+                max(1, len(obj.value)), cat=_EXEC)
+    return vm.make_str(obj.value.replace(old, new))
+
+
+def _m_str_find(vm, obj: PyStr, args):
+    _arity(args, 1, "str.find")
+    needle = _expect_str(args[0], "find argument")
+    _clib_touch(vm, "str.find", obj.addr + 32, max(1, len(obj.value)),
+                cat=_EXEC)
+    return vm.make_int(obj.value.find(needle))
+
+
+def _m_str_startswith(vm, obj: PyStr, args):
+    _arity(args, 1, "str.startswith")
+    prefix = _expect_str(args[0], "startswith argument")
+    _clib_alu(vm, "str.startswith", 2 + len(prefix) // 8, cat=_EXEC)
+    return TRUE if obj.value.startswith(prefix) else FALSE
+
+
+def _m_str_endswith(vm, obj: PyStr, args):
+    _arity(args, 1, "str.endswith")
+    suffix = _expect_str(args[0], "endswith argument")
+    _clib_alu(vm, "str.endswith", 2 + len(suffix) // 8, cat=_EXEC)
+    return TRUE if obj.value.endswith(suffix) else FALSE
+
+
+def _m_str_count(vm, obj: PyStr, args):
+    _arity(args, 1, "str.count")
+    needle = _expect_str(args[0], "count argument")
+    _clib_touch(vm, "str.count", obj.addr + 32, max(1, len(obj.value)),
+                cat=_EXEC)
+    return vm.make_int(obj.value.count(needle))
+
+
+_LIST_METHODS = {
+    "append": _m_list_append, "pop": _m_list_pop, "extend": _m_list_extend,
+    "insert": _m_list_insert, "remove": _m_list_remove,
+    "index": _m_list_index, "count": _m_list_count, "sort": _m_list_sort,
+    "reverse": _m_list_reverse,
+}
+
+_DICT_METHODS = {
+    "get": _m_dict_get, "pop": _m_dict_pop, "keys": _m_dict_keys,
+    "values": _m_dict_values, "items": _m_dict_items,
+}
+
+_STR_METHODS = {
+    "join": _m_str_join, "split": _m_str_split,
+    "upper": _str_simple("upper", str.upper),
+    "lower": _str_simple("lower", str.lower),
+    "strip": _str_simple("strip", str.strip),
+    "replace": _m_str_replace, "find": _m_str_find,
+    "startswith": _m_str_startswith, "endswith": _m_str_endswith,
+    "count": _m_str_count,
+}
+
+
+def lookup_type_method(obj: GuestObject, name: str):
+    """Resolve a method on a builtin type; returns handler(vm, obj, args)."""
+    if isinstance(obj, PyList):
+        return _LIST_METHODS.get(name)
+    if isinstance(obj, PyDict):
+        return _DICT_METHODS.get(name)
+    if isinstance(obj, PyStr):
+        return _STR_METHODS.get(name)
+    if isinstance(obj, PyModule):
+        func = obj.functions.get(name)
+        if func is None:
+            return None
+        return lambda vm, _obj, args, _f=func: _f(vm, args)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Modeled C library: math
+# ----------------------------------------------------------------------
+
+def _math1(name: str, func):
+    def handler(vm, args):
+        _arity(args, 1, f"math.{name}")
+        value = _expect_number(args[0], f"math.{name} argument")
+        vm.machine.fpu(vm.machine.site(f"clib.math.{name}"), _CLIB, n=4)
+        try:
+            return vm.make_float(func(value))
+        except ValueError as exc:
+            raise GuestValueError(str(exc)) from exc
+    return handler
+
+
+def _math2(name: str, func):
+    def handler(vm, args):
+        _arity(args, 2, f"math.{name}")
+        a = _expect_number(args[0], f"math.{name} argument")
+        b = _expect_number(args[1], f"math.{name} argument")
+        vm.machine.fpu(vm.machine.site(f"clib.math.{name}"), _CLIB, n=5)
+        try:
+            return vm.make_float(func(a, b))
+        except ValueError as exc:
+            raise GuestValueError(str(exc)) from exc
+    return handler
+
+
+def _math_floor(vm, args):
+    _arity(args, 1, "math.floor")
+    value = _expect_number(args[0], "math.floor argument")
+    vm.machine.fpu(vm.machine.site("clib.math.floor"), _CLIB, n=2)
+    return vm.make_int(int(_math.floor(value)))
+
+
+# ----------------------------------------------------------------------
+# Modeled C library: pickle / json
+# ----------------------------------------------------------------------
+
+def _serialize(vm, obj: GuestObject, out: list[str], label: str) -> None:
+    """Real recursive serialization with per-node C-call emission."""
+    m = vm.machine
+    with m.c_call(f"clib.{label}.save_site", f"clib.{label}.save",
+                  indirect=True, args=2, saves=2, category=_CLIB):
+        if isinstance(obj, PyBool):
+            out.append("b1" if obj.value else "b0")
+            _clib_alu(vm, f"{label}.bool", 8)
+        elif isinstance(obj, PyInt):
+            text = str(obj.value)
+            out.append(f"i{text};")
+            _clib_alu(vm, f"{label}.int", 14 + 2 * len(text))
+        elif isinstance(obj, PyFloat):
+            text = repr(obj.value)
+            out.append(f"f{text};")
+            _clib_alu(vm, f"{label}.float", 20 + 2 * len(text))
+        elif isinstance(obj, PyStr):
+            out.append(f"s{len(obj.value)};{obj.value}")
+            _clib_touch(vm, f"{label}.str", obj.addr + 32,
+                        max(1, len(obj.value)))
+            _clib_alu(vm, f"{label}.strscan", 8 + len(obj.value))
+        elif isinstance(obj, PyNone):
+            out.append("n")
+        elif isinstance(obj, (PyList, PyTuple)):
+            tag = "l" if isinstance(obj, PyList) else "t"
+            out.append(f"{tag}{len(obj.items)};")
+            _clib_alu(vm, f"{label}.seq", 12)
+            for item in obj.items:
+                _serialize(vm, item, out, label)
+        elif isinstance(obj, PyDict):
+            out.append(f"d{len(obj.entries)};")
+            _clib_alu(vm, f"{label}.dict", 16)
+            for key_obj, value_obj in obj.entries.values():
+                _serialize(vm, key_obj, out, label)
+                _serialize(vm, value_obj, out, label)
+        else:
+            raise GuestTypeError(
+                f"cannot serialize {obj.type_name!r} object")
+
+
+class _Parser:
+    """Parser for the serialization format; deserializes for real."""
+
+    def __init__(self, vm, text: str, label: str) -> None:
+        self.vm = vm
+        self.text = text
+        self.pos = 0
+        self.label = label
+
+    def fail(self, message: str):
+        raise GuestValueError(
+            f"{self.label}: corrupt data at offset {self.pos}: {message}")
+
+    def take_until(self, terminator: str) -> str:
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            self.fail(f"expected {terminator!r}")
+        piece = self.text[self.pos:end]
+        self.pos = end + 1
+        return piece
+
+    def parse(self) -> GuestObject:
+        vm = self.vm
+        m = vm.machine
+        if self.pos >= len(self.text):
+            self.fail("unexpected end of data")
+        tag = self.text[self.pos]
+        self.pos += 1
+        with m.c_call(f"clib.{self.label}.load_site",
+                      f"clib.{self.label}.load", indirect=True,
+                      args=2, saves=2, category=_CLIB):
+            _clib_alu(vm, f"{self.label}.parse", 16)
+            if tag == "b":
+                flag = self.text[self.pos]
+                self.pos += 1
+                return TRUE if flag == "1" else FALSE
+            if tag == "i":
+                return vm.make_int(int(self.take_until(";")))
+            if tag == "f":
+                return vm.make_float(float(self.take_until(";")))
+            if tag == "n":
+                return NONE
+            if tag == "s":
+                length = int(self.take_until(";"))
+                piece = self.text[self.pos:self.pos + length]
+                if len(piece) != length:
+                    self.fail("truncated string")
+                self.pos += length
+                _clib_alu(vm, f"{self.label}.strload", 8 + length)
+                return vm.make_str(piece)
+            if tag in ("l", "t"):
+                count = int(self.take_until(";"))
+                items = [self.parse() for _ in range(count)]
+                if tag == "l":
+                    return vm.make_list(items)
+                return vm.make_tuple(tuple(items))
+            if tag == "d":
+                count = int(self.take_until(";"))
+                result = vm.make_dict()
+                for _ in range(count):
+                    key = self.parse()
+                    value = self.parse()
+                    vm.dict_set(result, key, value)
+                return result
+        self.fail(f"unknown tag {tag!r}")
+
+
+def _pickle_dumps(vm, args):
+    _arity(args, 1, "pickle.dumps")
+    out: list[str] = []
+    _serialize(vm, args[0], out, "pickle")
+    text = "".join(out)
+    scratch = _scratch(vm, len(text))
+    _clib_touch(vm, "pickle.out", scratch, max(1, len(text)), write=True)
+    return vm.make_str(text)
+
+
+def _pickle_loads(vm, args):
+    _arity(args, 1, "pickle.loads")
+    text = _expect_str(args[0], "pickle.loads argument")
+    _clib_touch(vm, "pickle.in", args[0].addr + 32, max(1, len(text)))
+    return _Parser(vm, text, "pickle").parse()
+
+
+def _json_dumps(vm, args):
+    _arity(args, 1, "json.dumps")
+    out: list[str] = []
+    _serialize(vm, args[0], out, "json")
+    text = "".join(out)
+    scratch = _scratch(vm, len(text))
+    _clib_touch(vm, "json.out", scratch, max(1, len(text)), write=True)
+    return vm.make_str(text)
+
+
+def _json_loads(vm, args):
+    _arity(args, 1, "json.loads")
+    text = _expect_str(args[0], "json.loads argument")
+    _clib_touch(vm, "json.in", args[0].addr + 32, max(1, len(text)))
+    return _Parser(vm, text, "json").parse()
+
+
+# ----------------------------------------------------------------------
+# Modeled C library: re (simplified engine, real matching via host re)
+# ----------------------------------------------------------------------
+
+def _re_cost(vm, pattern: str, text_obj: PyStr) -> None:
+    """Scan cost: the engine walks the subject string, with backtracking
+    pressure proportional to pattern complexity."""
+    meta = sum(pattern.count(c) for c in "*+?[](|")
+    factor = 1 + min(meta, 6)
+    m = vm.machine
+    # Pattern compilation (sre_compile work), paid per call site.
+    _clib_alu(vm, "re.compile", 40 + 12 * len(pattern))
+    scan_bytes = max(1, len(text_obj.value))
+    _clib_touch(vm, "re.scan", text_obj.addr + 32, scan_bytes)
+    _clib_alu(vm, "re.engine", max(4, (scan_bytes * factor) // 3))
+    with m.c_call("clib.re.dispatch_site", "clib.re.dispatch",
+                  indirect=True, args=3, saves=3, category=_CLIB):
+        _clib_alu(vm, "re.inner", 4)
+
+
+def _re_search(vm, args):
+    _arity(args, 2, "re.search")
+    pattern = _expect_str(args[0], "re pattern")
+    text = args[1]
+    subject = _expect_str(text, "re subject")
+    _re_cost(vm, pattern, text)
+    import re as host_re
+    try:
+        match = host_re.search(pattern, subject)
+    except host_re.error as exc:
+        raise GuestValueError(f"bad pattern: {exc}") from exc
+    if match is None:
+        return NONE
+    return vm.make_str(match.group(0))
+
+
+def _re_match(vm, args):
+    _arity(args, 2, "re.match")
+    pattern = _expect_str(args[0], "re pattern")
+    text = args[1]
+    subject = _expect_str(text, "re subject")
+    _re_cost(vm, pattern, text)
+    import re as host_re
+    try:
+        match = host_re.match(pattern, subject)
+    except host_re.error as exc:
+        raise GuestValueError(f"bad pattern: {exc}") from exc
+    if match is None:
+        return NONE
+    return vm.make_str(match.group(0))
+
+
+def _re_findall(vm, args):
+    _arity(args, 2, "re.findall")
+    pattern = _expect_str(args[0], "re pattern")
+    text = args[1]
+    subject = _expect_str(text, "re subject")
+    _re_cost(vm, pattern, text)
+    import re as host_re
+    try:
+        found = host_re.findall(pattern, subject)
+    except host_re.error as exc:
+        raise GuestValueError(f"bad pattern: {exc}") from exc
+    return vm.make_list([vm.make_str(f if isinstance(f, str) else f[0])
+                         for f in found])
+
+
+# ----------------------------------------------------------------------
+# Modeled C library: rnd (deterministic LCG)
+# ----------------------------------------------------------------------
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+def _rnd_state(vm) -> int:
+    return getattr(vm, "_rnd_state", 0x9E3779B97F4A7C15)
+
+
+def _rnd_step(vm) -> int:
+    state = (_rnd_state(vm) * _LCG_A + _LCG_C) & _LCG_MASK
+    vm._rnd_state = state
+    _clib_alu(vm, "rnd.step", 3)
+    return state
+
+
+def _rnd_seed(vm, args):
+    _arity(args, 1, "rnd.seed")
+    vm._rnd_state = (_expect_int(args[0], "seed")
+                     ^ 0x9E3779B97F4A7C15) & _LCG_MASK
+    return NONE
+
+
+def _rnd_random(vm, args):
+    if args:
+        raise GuestTypeError("rnd.random() takes no arguments")
+    return vm.make_float((_rnd_step(vm) >> 11) / float(1 << 53))
+
+
+def _rnd_randint(vm, args):
+    _arity(args, 2, "rnd.randint")
+    low = _expect_int(args[0], "randint low")
+    high = _expect_int(args[1], "randint high")
+    if high < low:
+        raise GuestValueError("randint: empty range")
+    return vm.make_int(low + _rnd_step(vm) % (high - low + 1))
+
+
+# ----------------------------------------------------------------------
+# Installation
+# ----------------------------------------------------------------------
+
+def install_builtins(vm) -> None:
+    """Register every builtin function and module on ``vm``."""
+    vm.output = []
+    simple = {
+        "len": _bi_len, "range": _bi_range, "abs": _bi_abs,
+        "sum": _bi_sum, "min": _bi_min, "max": _bi_max,
+        "ord": _bi_ord, "chr": _bi_chr, "int": _bi_int,
+        "float": _bi_float, "str": _bi_str, "bool": _bi_bool,
+        "list": _bi_list, "tuple": _bi_tuple, "dict": _bi_dict,
+        "sorted": _bi_sorted, "print": _bi_print,
+    }
+    inlinable = {"len", "abs", "ord", "chr", "bool", "range"}
+    for name, handler in simple.items():
+        builtin = PyBuiltin(name, handler, inline_ok=name in inlinable)
+        vm._make_immortal(builtin)
+        vm.builtins[name] = builtin
+
+    modules = {
+        "math": {
+            "sqrt": _math1("sqrt", _math.sqrt),
+            "sin": _math1("sin", _math.sin),
+            "cos": _math1("cos", _math.cos),
+            "tan": _math1("tan", _math.tan),
+            "exp": _math1("exp", _math.exp),
+            "log": _math1("log", _math.log),
+            "atan2": _math2("atan2", _math.atan2),
+            "pow": _math2("pow", _math.pow),
+            "floor": _math_floor,
+        },
+        "pickle": {"dumps": _pickle_dumps, "loads": _pickle_loads},
+        "json": {"dumps": _json_dumps, "loads": _json_loads},
+        "re": {"search": _re_search, "match": _re_match,
+               "findall": _re_findall},
+        "rnd": {"seed": _rnd_seed, "random": _rnd_random,
+                "randint": _rnd_randint},
+    }
+    for module_name, functions in modules.items():
+        module = PyModule(module_name, functions)
+        vm._make_immortal(module)
+        vm.builtins[module_name] = module

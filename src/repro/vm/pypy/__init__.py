@@ -1,0 +1,8 @@
+"""PyPy-model runtime: interpreter, generational GC, tracing JIT."""
+
+from .gc import GenerationalGC
+from .interp import PyPyVM, run_pypy
+from .jit import CompiledTrace, NullJIT, TraceJIT
+
+__all__ = ["PyPyVM", "run_pypy", "GenerationalGC", "TraceJIT", "NullJIT",
+           "CompiledTrace"]

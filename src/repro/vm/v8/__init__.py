@@ -1,0 +1,5 @@
+"""V8-analog JavaScript runtime."""
+
+from .runtime import V8VM, run_v8
+
+__all__ = ["V8VM", "run_v8"]

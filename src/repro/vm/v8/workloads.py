@@ -1,0 +1,926 @@
+"""The 37 JetStream-analog workloads for the V8-analog runtime.
+
+JetStream 1.1 "combines a variety of JavaScript benchmarks, covering a
+variety of advanced workloads and programming techniques" (paper Section
+III). Each entry here reproduces its namesake's workload class as a
+MiniPy program executed by :class:`~repro.vm.v8.V8VM`.
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkloadError
+
+_SOURCES: dict[str, str] = {}
+
+
+def _register(name: str, source: str) -> None:
+    _SOURCES[name] = source
+
+
+_register("3d-cube", """
+def rotate(vertices, angle):
+    ca = math.cos(angle)
+    sa = math.sin(angle)
+    out = []
+    for v in vertices:
+        x, y, z = v
+        out.append((x * ca - z * sa, y, x * sa + z * ca))
+    return out
+
+verts = [(-1.0, -1.0, -1.0), (1.0, -1.0, -1.0), (1.0, 1.0, -1.0),
+         (-1.0, 1.0, -1.0), (-1.0, -1.0, 1.0), (1.0, -1.0, 1.0),
+         (1.0, 1.0, 1.0), (-1.0, 1.0, 1.0)]
+total = 0.0
+for step in range(60):
+    verts = rotate(verts, 0.1)
+    for v in verts:
+        x, y, z = v
+        total = total + x + z
+print(int(total * 1000))
+""")
+
+_register("3d-raytrace", """
+def intersect(ox, oy, oz, dx, dy, dz, cx, cy, cz, r):
+    lx = ox - cx
+    ly = oy - cy
+    lz = oz - cz
+    b = 2.0 * (lx * dx + ly * dy + lz * dz)
+    c = lx * lx + ly * ly + lz * lz - r * r
+    disc = b * b - 4.0 * c
+    if disc < 0.0:
+        return -1.0
+    return (0.0 - b - math.sqrt(disc)) / 2.0
+
+hits = 0
+for py in range(14):
+    for px in range(14):
+        dx = px / 14.0 - 0.5
+        dy = py / 14.0 - 0.5
+        dz = -1.0
+        norm = math.sqrt(dx * dx + dy * dy + dz * dz)
+        t = intersect(0.0, 0.0, 0.0, dx / norm, dy / norm, dz / norm,
+                      0.0, 0.0, -3.0, 1.0)
+        if t > 0.0:
+            hits = hits + 1
+print(hits)
+""")
+
+_register("base64", """
+def encode(data, alphabet):
+    out = []
+    i = 0
+    while i + 2 < len(data):
+        n = data[i] * 65536 + data[i + 1] * 256 + data[i + 2]
+        out.append(alphabet[n // 262144])
+        out.append(alphabet[(n // 4096) % 64])
+        out.append(alphabet[(n // 64) % 64])
+        out.append(alphabet[n % 64])
+        i = i + 3
+    return "".join(out)
+
+alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ" + \\
+           "abcdefghijklmnopqrstuvwxyz0123456789+/"
+data = []
+for i in range(240):
+    data.append((i * 37 + 11) % 256)
+text = encode(data, alphabet)
+print(str(len(text)) + " " + text[0:8])
+""")
+
+_register("bigfib.cpp", """
+a = 0
+b = 1
+for i in range(180):
+    c = a + b
+    a = b
+    b = c
+print(len(str(b)))
+""")
+
+_register("box2d", """
+def step(xs, ys, vxs, vys, n):
+    for i in range(n):
+        vys[i] = vys[i] - 0.1
+        xs[i] = xs[i] + vxs[i]
+        ys[i] = ys[i] + vys[i]
+        if ys[i] < 0.0:
+            ys[i] = 0.0 - ys[i]
+            vys[i] = vys[i] * -0.8
+
+n = 20
+xs = []
+ys = []
+vxs = []
+vys = []
+for i in range(n):
+    xs.append(float(i))
+    ys.append(10.0 + i)
+    vxs.append(0.1 * i)
+    vys.append(0.0)
+for s in range(50):
+    step(xs, ys, vxs, vys, n)
+total = 0.0
+for i in range(n):
+    total = total + ys[i]
+print(int(total * 100))
+""")
+
+_register("cdjs", """
+def heap_push(heap, item):
+    heap.append(item)
+    i = len(heap) - 1
+    while i > 0:
+        parent = (i - 1) // 2
+        if heap[parent] > heap[i]:
+            t = heap[parent]
+            heap[parent] = heap[i]
+            heap[i] = t
+            i = parent
+        else:
+            break
+
+def heap_pop(heap):
+    top = heap[0]
+    last = heap.pop()
+    if len(heap) > 0:
+        heap[0] = last
+        i = 0
+        while True:
+            left = 2 * i + 1
+            right = 2 * i + 2
+            small = i
+            if left < len(heap) and heap[left] < heap[small]:
+                small = left
+            if right < len(heap) and heap[right] < heap[small]:
+                small = right
+            if small == i:
+                break
+            t = heap[small]
+            heap[small] = heap[i]
+            heap[i] = t
+            i = small
+    return top
+
+heap = []
+total = 0
+for i in range(150):
+    heap_push(heap, (i * 7919) % 513)
+while len(heap) > 0:
+    total = total + heap_pop(heap) * len(heap)
+print(total)
+""")
+
+_register("code-first-load", """
+def tokenize(src):
+    tokens = []
+    word = []
+    for ch in src:
+        if ch == " " or ch == ";":
+            if len(word) > 0:
+                tokens.append("".join(word))
+                word = []
+            if ch == ";":
+                tokens.append(";")
+        else:
+            word.append(ch)
+    if len(word) > 0:
+        tokens.append("".join(word))
+    return tokens
+
+src = "var x = 1; var y = x + 2; function f a b ; return a + b * y;"
+total = 0
+for rep in range(25):
+    tokens = tokenize(src)
+    total = total + len(tokens)
+print(total)
+""")
+
+_register("code-multi-load", """
+def parse_statements(tokens):
+    statements = 0
+    depth = 0
+    for t in tokens:
+        if t == "{":
+            depth = depth + 1
+        elif t == "}":
+            depth = depth - 1
+        elif t == ";" and depth == 0:
+            statements = statements + 1
+    return statements
+
+sources = []
+for i in range(10):
+    sources.append(["var", "a" + str(i), "=", str(i), ";", "{",
+                    "call", ";", "}", ";"])
+total = 0
+for rep in range(30):
+    for tokens in sources:
+        total = total + parse_statements(tokens)
+print(total)
+""")
+
+_register("container.cpp", """
+data = []
+for i in range(300):
+    data.append((i * 31) % 97)
+removed = 0
+i = 0
+while i < len(data):
+    if data[i] % 7 == 0:
+        data.pop(i)
+        removed = removed + 1
+    else:
+        i = i + 1
+total = 0
+for v in data:
+    total = total + v
+print(str(removed) + " " + str(total))
+""")
+
+_register("crypto", """
+state = 2463534242
+out = 0
+for i in range(600):
+    state = state ^ ((state << 13) % 4294967296)
+    state = state ^ (state >> 17)
+    state = state ^ ((state << 5) % 4294967296)
+    state = state % 4294967296
+    out = (out + state) % 1000000007
+print(out)
+""")
+
+_register("crypto-aes", """
+sbox = []
+for i in range(256):
+    sbox.append(((i * 131) + 42) % 256)
+state = []
+for i in range(16):
+    state.append((i * 11) % 256)
+for r in range(40):
+    for i in range(16):
+        state[i] = sbox[state[i] ^ (r % 256)]
+    first = state[0]
+    for i in range(15):
+        state[i] = state[i + 1]
+    state[15] = first
+total = 0
+for i in range(16):
+    total = total + state[i]
+print(total)
+""")
+
+_register("crypto-md5", """
+def leftrotate(x, c):
+    return ((x << c) | (x >> (32 - c))) % 4294967296
+
+a = 1732584193
+b = 4023233417
+c = 2562383102
+d = 271733878
+for i in range(320):
+    f = (b & c) | ((4294967295 - b) & d)
+    temp = d
+    d = c
+    c = b
+    b = (b + leftrotate((a + f + i) % 4294967296, (i % 4) * 5 + 7)) \\
+        % 4294967296
+    a = temp
+print((a + b + c + d) % 1000000007)
+""")
+
+_register("crypto-sha1", """
+def rol(x, c):
+    return ((x << c) | (x >> (32 - c))) % 4294967296
+
+h0 = 1732584193
+h1 = 4023233417
+h2 = 2562383102
+h3 = 271733878
+h4 = 3285377520
+for i in range(300):
+    f = (h1 & h2) | ((4294967295 - h1) & h3)
+    temp = (rol(h0, 5) + f + h4 + i) % 4294967296
+    h4 = h3
+    h3 = h2
+    h2 = rol(h1, 30)
+    h1 = h0
+    h0 = temp
+print((h0 + h1 + h2 + h3 + h4) % 1000000007)
+""")
+
+_register("date-format-tofte", """
+def pad(n):
+    if n < 10:
+        return "0" + str(n)
+    return str(n)
+
+months = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug",
+          "Sep", "Oct", "Nov", "Dec"]
+total = 0
+for day in range(200):
+    y = 2000 + day // 365
+    m = (day // 28) % 12
+    d = day % 28 + 1
+    text = str(y) + "-" + pad(m + 1) + "-" + pad(d) + " (" + \\
+        months[m] + ")"
+    total = total + len(text)
+print(total)
+""")
+
+_register("date-format-xparb", """
+def format12(hour, minute):
+    suffix = "AM"
+    h = hour
+    if hour >= 12:
+        suffix = "PM"
+        h = hour - 12
+    if h == 0:
+        h = 12
+    ms = str(minute)
+    if minute < 10:
+        ms = "0" + ms
+    return str(h) + ":" + ms + " " + suffix
+
+total = 0
+for t in range(400):
+    text = format12(t % 24, (t * 7) % 60)
+    total = total + len(text)
+print(total)
+""")
+
+_register("delta-blue", """
+class Var:
+    def __init__(self, v):
+        self.v = v
+        self.stay = False
+
+class Eq:
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def run(self):
+        if self.a.stay:
+            self.b.v = self.a.v
+        else:
+            self.a.v = self.b.v
+
+total = 0
+for c in range(12):
+    chain = []
+    for i in range(10):
+        chain.append(Var(i + c))
+    chain[0].stay = True
+    eqs = []
+    for i in range(9):
+        eqs.append(Eq(chain[i], chain[i + 1]))
+    for r in range(4):
+        for e in eqs:
+            e.run()
+    total = total + chain[9].v
+print(total)
+""")
+
+_register("dry.c", """
+class Record:
+    def __init__(self, discr, enum, int_comp, string_comp):
+        self.discr = discr
+        self.enum = enum
+        self.int_comp = int_comp
+        self.string_comp = string_comp
+        self.next = None
+
+total = 0
+head = None
+for i in range(120):
+    rec = Record(i % 3, i % 5, i * 7 % 101, "DHRYSTONE-" + str(i % 4))
+    rec.next = head
+    head = rec
+node = head
+while not node is None:
+    if node.discr == 0:
+        total = total + node.int_comp
+    elif node.enum == 2:
+        total = total + 1
+    node = node.next
+print(total)
+""")
+
+_register("earley-boyer", """
+def rewrite(term, depth):
+    if depth == 0:
+        return term
+    if term[0] == "and":
+        return ("if", rewrite(term[1], depth - 1),
+                rewrite(term[2], depth - 1), ("f",))
+    if term[0] == "or":
+        return ("if", rewrite(term[1], depth - 1), ("t",),
+                rewrite(term[2], depth - 1))
+    return term
+
+def size(term):
+    total = 1
+    for part in term:
+        if not isinstance_tuple(part):
+            continue
+        total = total + size(part)
+    return total
+
+def isinstance_tuple(x):
+    return not x is None and not x == "and" and not x == "or" and \\
+        not x == "if" and not x == "t" and not x == "f" and len(x) > 0 \\
+        and not x[0] == x
+
+total = 0
+for rep in range(12):
+    term = ("and", ("or", ("t",), ("f",)), ("and", ("t",), ("f",)))
+    for d in range(4):
+        term = rewrite(term, d)
+    total = total + len(term)
+print(total)
+""")
+
+_register("float-mm.c", """
+def matmul(a, b, n):
+    out = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            total = 0.0
+            for k in range(n):
+                total = total + a[i][k] * b[k][j]
+            row.append(total)
+        out.append(row)
+    return out
+
+n = 9
+a = []
+b = []
+for i in range(n):
+    ra = []
+    rb = []
+    for j in range(n):
+        ra.append(float((i + j) % 5))
+        rb.append(float((i * j) % 7))
+    a.append(ra)
+    b.append(rb)
+c = matmul(a, b, n)
+for rep in range(3):
+    c = matmul(c, b, n)
+print(int(c[n - 1][n - 1]))
+""")
+
+_register("gbemu", """
+def run_cpu(mem, steps):
+    pc = 0
+    acc = 0
+    for s in range(steps):
+        op = mem[pc % 256]
+        if op < 64:
+            acc = (acc + op) % 65536
+        elif op < 128:
+            acc = (acc ^ op) % 65536
+        elif op < 192:
+            mem[(pc + acc) % 256] = (op + acc) % 256
+        else:
+            acc = mem[(op + acc) % 256]
+        pc = pc + 1
+    return acc
+
+mem = []
+for i in range(256):
+    mem.append((i * 77 + 13) % 256)
+print(run_cpu(mem, 1200))
+""")
+
+_register("gcc-loops.cpp", """
+n = 150
+a = []
+bb = []
+for i in range(n):
+    a.append(i % 13)
+    bb.append((i * 3) % 7)
+s1 = 0
+for i in range(n):
+    s1 = s1 + a[i] * bb[i]
+for i in range(1, n):
+    a[i] = a[i] + a[i - 1]
+s2 = 0
+for i in range(n):
+    if a[i] % 2 == 0:
+        s2 = s2 + bb[i]
+print(str(s1) + " " + str(s2) + " " + str(a[n - 1]))
+""")
+
+_register("hash-map", """
+table = {}
+for i in range(400):
+    table[(i * 2654435761) % 1024] = i
+hits = 0
+total = 0
+for i in range(800):
+    key = (i * 40503) % 1024
+    if key in table:
+        hits = hits + 1
+        total = total + table[key]
+print(str(hits) + " " + str(total % 100000))
+""")
+
+_register("mandreel", """
+total = 0
+for py in range(20):
+    for px in range(20):
+        x0 = px / 10.0 - 1.5
+        y0 = py / 10.0 - 1.0
+        x = 0.0
+        y = 0.0
+        it = 0
+        while x * x + y * y < 4.0 and it < 20:
+            xt = x * x - y * y + x0
+            y = 2.0 * x * y + y0
+            x = xt
+            it = it + 1
+        total = total + it
+print(total)
+""")
+
+_register("n-body", """
+class Body:
+    def __init__(self, x, y, vx, vy, m):
+        self.x = x
+        self.y = y
+        self.vx = vx
+        self.vy = vy
+        self.m = m
+
+def advance(bodies, dt):
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi.x - bj.x
+            dy = bi.y - bj.y
+            d2 = dx * dx + dy * dy
+            mag = dt / (d2 * math.sqrt(d2))
+            bi.vx = bi.vx - dx * bj.m * mag
+            bi.vy = bi.vy - dy * bj.m * mag
+            bj.vx = bj.vx + dx * bi.m * mag
+            bj.vy = bj.vy + dy * bi.m * mag
+    for b in bodies:
+        b.x = b.x + dt * b.vx
+        b.y = b.y + dt * b.vy
+
+bodies = [Body(0.0, 0.0, 0.0, 0.0, 39.0), Body(4.8, -1.1, 0.6, 2.8, 0.04),
+          Body(8.3, 4.1, -1.0, 1.8, 0.01), Body(12.8, -15.1, 1.0, 0.8,
+                                                0.002)]
+for s in range(40):
+    advance(bodies, 0.01)
+print(int(bodies[1].x * 10000))
+""")
+
+_register("n-body.c", """
+x = [0.0, 4.8, 8.3, 12.8]
+y = [0.0, -1.1, 4.1, -15.1]
+vx = [0.0, 0.6, -1.0, 1.0]
+vy = [0.0, 2.8, 1.8, 0.8]
+m = [39.0, 0.04, 0.01, 0.002]
+for s in range(50):
+    for i in range(4):
+        for j in range(i + 1, 4):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            d2 = dx * dx + dy * dy
+            mag = 0.01 / (d2 * math.sqrt(d2))
+            vx[i] = vx[i] - dx * m[j] * mag
+            vy[i] = vy[i] - dy * m[j] * mag
+            vx[j] = vx[j] + dx * m[i] * mag
+            vy[j] = vy[j] + dy * m[i] * mag
+    for i in range(4):
+        x[i] = x[i] + 0.01 * vx[i]
+        y[i] = y[i] + 0.01 * vy[i]
+print(int(x[1] * 10000))
+""")
+
+_register("navier-stokes", """
+def lin_solve(grid, n, iters):
+    for it in range(iters):
+        for i in range(1, n - 1):
+            row = grid[i]
+            up = grid[i - 1]
+            down = grid[i + 1]
+            for j in range(1, n - 1):
+                row[j] = (row[j - 1] + row[j + 1] + up[j] + down[j]) \\
+                    * 0.25
+
+n = 16
+grid = []
+for i in range(n):
+    row = []
+    for j in range(n):
+        row.append(float((i * j) % 9))
+    grid.append(row)
+lin_solve(grid, n, 6)
+total = 0.0
+for i in range(n):
+    for j in range(n):
+        total = total + grid[i][j]
+print(int(total * 100))
+""")
+
+_register("pdfjs", """
+def parse_stream(data):
+    objects = 0
+    streams = 0
+    i = 0
+    while i < len(data):
+        b = data[i]
+        if b == 111:
+            objects = objects + 1
+            i = i + 2
+        elif b == 115:
+            streams = streams + 1
+            length = data[(i + 1) % len(data)]
+            i = i + 2 + length % 16
+        else:
+            i = i + 1
+    return (objects, streams)
+
+data = []
+for i in range(900):
+    data.append((i * 91 + 17) % 256)
+o, s = parse_stream(data)
+print(str(o) + " " + str(s))
+""")
+
+_register("proto-raytracer", """
+def make_vec(x, y, z):
+    v = {}
+    v["x"] = x
+    v["y"] = y
+    v["z"] = z
+    return v
+
+def dot(a, b):
+    return a["x"] * b["x"] + a["y"] * b["y"] + a["z"] * b["z"]
+
+def sub(a, b):
+    return make_vec(a["x"] - b["x"], a["y"] - b["y"], a["z"] - b["z"])
+
+center = make_vec(0.0, 0.0, -3.0)
+origin = make_vec(0.0, 0.0, 0.0)
+hits = 0
+for py in range(12):
+    for px in range(12):
+        d = make_vec(px / 12.0 - 0.5, py / 12.0 - 0.5, -1.0)
+        oc = sub(origin, center)
+        b = 2.0 * dot(oc, d)
+        c = dot(oc, oc) - 1.0
+        if b * b - 4.0 * dot(d, d) * c > 0.0:
+            hits = hits + 1
+print(hits)
+""")
+
+_register("quicksort.c", """
+def quicksort(arr, lo, hi):
+    if lo >= hi:
+        return 0
+    pivot = arr[(lo + hi) // 2]
+    i = lo
+    j = hi
+    while i <= j:
+        while arr[i] < pivot:
+            i = i + 1
+        while arr[j] > pivot:
+            j = j - 1
+        if i <= j:
+            t = arr[i]
+            arr[i] = arr[j]
+            arr[j] = t
+            i = i + 1
+            j = j - 1
+    quicksort(arr, lo, j)
+    quicksort(arr, i, hi)
+    return 0
+
+arr = []
+x = 7
+for i in range(250):
+    x = (x * 1103515245 + 12345) % 2147483648
+    arr.append(x % 1000)
+quicksort(arr, 0, len(arr) - 1)
+print(str(arr[0]) + " " + str(arr[124]) + " " + str(arr[249]))
+""")
+
+_register("regex-dna", """
+bases = "acgt"
+out = []
+x = 99
+for i in range(700):
+    x = (x * 1103515245 + 12345) % 2147483648
+    out.append(bases[x % 4])
+dna = "".join(out)
+total = 0
+for p in ["ag+c", "[ct]ga", "a[acg]t"]:
+    total = total + len(re.findall(p, dna))
+print(total)
+""")
+
+_register("regexp-2010", """
+text = ""
+parts = []
+for i in range(80):
+    parts.append("id=" + str(i) + "&name=user" + str(i % 9) + ";")
+text = "".join(parts)
+total = 0
+total = total + len(re.findall("id=[0-9]+", text))
+total = total + len(re.findall("name=user[0-9]", text))
+m = re.search("id=4[0-9]", text)
+if not m is None:
+    total = total + len(m)
+print(total)
+""")
+
+_register("richards", """
+class Task:
+    def __init__(self, ident, priority):
+        self.ident = ident
+        self.priority = priority
+        self.work = 0
+
+    def run(self, amount):
+        self.work = self.work + amount * self.priority
+        return self.work
+
+tasks = []
+for i in range(5):
+    tasks.append(Task(i, i + 1))
+total = 0
+for it in range(120):
+    t = tasks[it % 5]
+    total = total + t.run(it % 3)
+print(total)
+""")
+
+_register("splay", """
+class Node:
+    def __init__(self, key):
+        self.key = key
+        self.left = None
+        self.right = None
+
+def insert(root, key):
+    if root is None:
+        return Node(key)
+    node = root
+    while True:
+        if key < node.key:
+            if node.left is None:
+                node.left = Node(key)
+                break
+            node = node.left
+        elif key > node.key:
+            if node.right is None:
+                node.right = Node(key)
+                break
+            node = node.right
+        else:
+            break
+    return root
+
+def find_depth(root, key):
+    depth = 0
+    node = root
+    while not node is None:
+        if key == node.key:
+            return depth
+        if key < node.key:
+            node = node.left
+        else:
+            node = node.right
+        depth = depth + 1
+    return -1
+
+root = None
+x = 3
+for i in range(200):
+    x = (x * 1103515245 + 12345) % 2147483648
+    root = insert(root, x % 511)
+found = 0
+for i in range(200):
+    if find_depth(root, i) >= 0:
+        found = found + 1
+print(found)
+""")
+
+_register("tagcloud", """
+words = ["web", "cloud", "data", "code", "app", "test", "node", "byte"]
+freq = {}
+x = 5
+for i in range(400):
+    x = (x * 1103515245 + 12345) % 2147483648
+    word = words[x % 8]
+    freq[word] = freq.get(word, 0) + 1
+parts = []
+for w in sorted(freq.keys()):
+    parts.append(w + ":" + str(freq[w]))
+cloud = ",".join(parts)
+print(str(len(cloud)) + " " + str(freq["data"]))
+""")
+
+_register("towers.c", """
+moves = []
+
+def hanoi(n, src, dst, via):
+    if n == 0:
+        return 0
+    hanoi(n - 1, src, via, dst)
+    moves.append((src, dst))
+    hanoi(n - 1, via, dst, src)
+    return 0
+
+hanoi(7, 0, 2, 1)
+total = 0
+for m in moves:
+    a, b = m
+    total = total + a * 3 + b
+print(str(len(moves)) + " " + str(total))
+""")
+
+_register("typescript", """
+def lex(src):
+    tokens = []
+    i = 0
+    n = len(src)
+    while i < n:
+        ch = src[i]
+        if ch == " ":
+            i = i + 1
+        elif ch == ":" or ch == "=" or ch == ";":
+            tokens.append(ch)
+            i = i + 1
+        else:
+            j = i
+            while j < n and src[j] != " " and src[j] != ":" and \\
+                    src[j] != "=" and src[j] != ";":
+                j = j + 1
+            tokens.append(src[i:j])
+            i = j
+    return tokens
+
+src = "let x : number = 42 ; let s : string = hello ; " + \\
+      "function f : void ;"
+total = 0
+for rep in range(20):
+    tokens = lex(src)
+    typed = 0
+    for t in tokens:
+        if t == ":":
+            typed = typed + 1
+    total = total + len(tokens) + typed
+print(total)
+""")
+
+_register("zlib", """
+def inflate(data):
+    out = []
+    i = 0
+    while i < len(data):
+        b = data[i]
+        if b < 128:
+            out.append(b)
+            i = i + 1
+        else:
+            count = b - 126
+            if len(out) > 0:
+                last = out[len(out) - 1]
+            else:
+                last = 0
+            for c in range(count):
+                out.append(last)
+            i = i + 1
+    return out
+
+data = []
+x = 17
+for i in range(500):
+    x = (x * 1103515245 + 12345) % 2147483648
+    data.append(x % 256)
+out = inflate(data)
+total = 0
+for v in out:
+    total = total + v
+print(str(len(out)) + " " + str(total % 100000))
+""")
+
+#: The JetStream-analog suite (paper Section III: 37 benchmarks).
+JS_SUITE = tuple(sorted(_SOURCES))
+
+
+def js_source(name: str) -> str:
+    """Source text of one JetStream-analog workload."""
+    source = _SOURCES.get(name)
+    if source is None:
+        raise WorkloadError(
+            f"unknown JS workload {name!r}; known: {', '.join(JS_SUITE)}")
+    return source

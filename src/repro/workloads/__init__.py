@@ -1,0 +1,24 @@
+"""The benchmark suite: 48 MiniPy workloads named after the paper's.
+
+The paper evaluates 48 benchmarks from the official Python performance
+suite and the PyPy suite. Each workload here reproduces the *workload
+class* of its namesake — numeric kernel, object-oriented application,
+C-library-bound program, or allocation-heavy GC stressor — as a real
+MiniPy program with a deterministic checksum, sized so a full run stays
+tractable under double interpretation.
+"""
+
+from .registry import (
+    WorkloadSpec,
+    get_workload,
+    workload_names,
+    PYTHON_SUITE,
+    SWEEP_BENCHMARKS,
+    NURSERY_BENCHMARKS,
+    BREAKDOWN_QUICK_SUITE,
+)
+
+__all__ = [
+    "WorkloadSpec", "get_workload", "workload_names", "PYTHON_SUITE",
+    "SWEEP_BENCHMARKS", "NURSERY_BENCHMARKS", "BREAKDOWN_QUICK_SUITE",
+]

@@ -1,0 +1,158 @@
+"""Run workload sources under the host Python for semantic verification.
+
+Every MiniPy workload is valid Python. Executing it natively — with shim
+modules whose semantics match the modeled C library exactly — gives a
+ground-truth output to compare the VM's output against. The test suite
+uses this to prove that all 48 benchmarks compute the same results on
+the host interpreter, the CPython model, and the PyPy model.
+"""
+
+from __future__ import annotations
+
+import math
+import re as host_re
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class RndShim:
+    """Matches the guest ``rnd`` module bit for bit."""
+
+    def __init__(self) -> None:
+        self._state = 0x9E3779B97F4A7C15
+
+    def seed(self, value: int) -> None:
+        self._state = (value ^ 0x9E3779B97F4A7C15) & _LCG_MASK
+
+    def _step(self) -> int:
+        self._state = (self._state * _LCG_A + _LCG_C) & _LCG_MASK
+        return self._state
+
+    def random(self) -> float:
+        return (self._step() >> 11) / float(1 << 53)
+
+    def randint(self, low: int, high: int) -> int:
+        return low + self._step() % (high - low + 1)
+
+
+def _serialize(obj, out: list) -> None:
+    if isinstance(obj, bool):
+        out.append("b1" if obj else "b0")
+    elif isinstance(obj, int):
+        out.append(f"i{obj};")
+    elif isinstance(obj, float):
+        out.append(f"f{obj!r};")
+    elif isinstance(obj, str):
+        out.append(f"s{len(obj)};{obj}")
+    elif obj is None:
+        out.append("n")
+    elif isinstance(obj, (list, tuple)):
+        tag = "l" if isinstance(obj, list) else "t"
+        out.append(f"{tag}{len(obj)};")
+        for item in obj:
+            _serialize(item, out)
+    elif isinstance(obj, dict):
+        out.append(f"d{len(obj)};")
+        for key, value in obj.items():
+            _serialize(key, out)
+            _serialize(value, out)
+    else:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+class _NativeParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def take_until(self, terminator: str) -> str:
+        end = self.text.index(terminator, self.pos)
+        piece = self.text[self.pos:end]
+        self.pos = end + 1
+        return piece
+
+    def parse(self):
+        tag = self.text[self.pos]
+        self.pos += 1
+        if tag == "b":
+            flag = self.text[self.pos]
+            self.pos += 1
+            return flag == "1"
+        if tag == "i":
+            return int(self.take_until(";"))
+        if tag == "f":
+            return float(self.take_until(";"))
+        if tag == "n":
+            return None
+        if tag == "s":
+            length = int(self.take_until(";"))
+            piece = self.text[self.pos:self.pos + length]
+            self.pos += length
+            return piece
+        if tag in ("l", "t"):
+            count = int(self.take_until(";"))
+            items = [self.parse() for _ in range(count)]
+            return items if tag == "l" else tuple(items)
+        if tag == "d":
+            count = int(self.take_until(";"))
+            result = {}
+            for _ in range(count):
+                key = self.parse()
+                result[key] = self.parse()
+            return result
+        raise ValueError(f"unknown tag {tag!r}")
+
+
+class SerializerShim:
+    """Matches guest ``pickle``/``json`` (same wire format)."""
+
+    @staticmethod
+    def dumps(obj) -> str:
+        out: list = []
+        _serialize(obj, out)
+        return "".join(out)
+
+    @staticmethod
+    def loads(text: str):
+        return _NativeParser(text).parse()
+
+
+class ReShim:
+    """Matches guest ``re``: search/match return group(0) or None."""
+
+    @staticmethod
+    def search(pattern: str, text: str):
+        match = host_re.search(pattern, text)
+        return match.group(0) if match else None
+
+    @staticmethod
+    def match(pattern: str, text: str):
+        match = host_re.match(pattern, text)
+        return match.group(0) if match else None
+
+    @staticmethod
+    def findall(pattern: str, text: str) -> list:
+        found = host_re.findall(pattern, text)
+        return [f if isinstance(f, str) else f[0] for f in found]
+
+
+def run_native(source: str) -> list[str]:
+    """Execute workload source under the host Python; return print lines."""
+    output: list[str] = []
+
+    def capture_print(*args) -> None:
+        output.append(" ".join(str(a) for a in args))
+
+    namespace = {
+        "math": math,
+        "rnd": RndShim(),
+        "pickle": SerializerShim(),
+        "json": SerializerShim(),
+        "re": ReShim(),
+        "print": capture_print,
+        "__builtins__": __builtins__,
+    }
+    exec(compile(source, "<workload>", "exec"), namespace)
+    return output

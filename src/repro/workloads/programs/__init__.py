@@ -1,0 +1,1 @@
+"""Benchmark program sources, grouped by workload class."""

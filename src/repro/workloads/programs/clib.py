@@ -1,0 +1,216 @@
+"""C-library-bound workloads: pickle, json, regex families.
+
+The paper reports these spend more than 64% of their time inside C
+library code (Section IV-C.1), so most of their emission is the modeled
+serializer and regex engine rather than interpreter choreography.
+"""
+
+from __future__ import annotations
+
+
+def pickle_bench(scale: int = 1) -> str:
+    reps = 16 * scale
+    return f"""
+def build_object(i):
+    inner = {{}}
+    inner["id"] = i
+    inner["name"] = "object-" + str(i)
+    inner["values"] = [i, i * 2, i * 3, float(i) / 2.0]
+    inner["flags"] = (True, False, None)
+    inner["history"] = list(range(40))
+    return inner
+
+obj = build_object(7)
+total = 0
+for rep in range({reps}):
+    data = pickle.dumps(obj)
+    back = pickle.loads(data)
+    total = total + len(data) + back["id"]
+print(total)
+"""
+
+
+def pickle_dict(scale: int = 1) -> str:
+    reps = 18 * scale
+    return f"""
+table = {{}}
+for i in range(40):
+    table["key-" + str(i)] = [i, i * i, "value-" + str(i)]
+total = 0
+for rep in range({reps}):
+    data = pickle.dumps(table)
+    total = total + len(data)
+print(total)
+"""
+
+
+def pickle_list(scale: int = 1) -> str:
+    reps = 10 * scale
+    return f"""
+payload = list(range(300))
+total = 0
+for rep in range({reps}):
+    data = pickle.dumps(payload)
+    back = pickle.loads(data)
+    total = total + back[rep % len(back)]
+print(total)
+"""
+
+
+def unpickle(scale: int = 1) -> str:
+    reps = 16 * scale
+    return f"""
+source = {{}}
+for i in range(30):
+    source["k" + str(i)] = (i, "text-" + str(i), float(i) * 1.5)
+data = pickle.dumps(source)
+total = 0
+for rep in range({reps}):
+    back = pickle.loads(data)
+    total = total + len(back)
+print(str(total) + " " + str(len(data)))
+"""
+
+
+def unpickle_list(scale: int = 1) -> str:
+    reps = 14 * scale
+    return f"""
+payload = list(range(400))
+data = pickle.dumps(payload)
+total = 0
+for rep in range({reps}):
+    back = pickle.loads(data)
+    total = total + back[(rep * 13) % len(back)]
+print(total)
+"""
+
+
+def json_dumps(scale: int = 1) -> str:
+    reps = 18 * scale
+    return f"""
+def build_doc(i):
+    doc = {{}}
+    doc["user"] = "user-" + str(i)
+    doc["score"] = i * 17 % 101
+    doc["tags"] = ["alpha", "beta", "gamma"]
+    doc["nested"] = {{}}
+    doc["nested"]["depth"] = 2
+    doc["nested"]["items"] = list(range(30))
+    return doc
+
+doc = build_doc(11)
+total = 0
+for rep in range({reps}):
+    text = json.dumps(doc)
+    total = total + len(text)
+print(total)
+"""
+
+
+def json_loads(scale: int = 1) -> str:
+    reps = 12 * scale
+    return f"""
+doc = {{}}
+doc["records"] = []
+for i in range(25):
+    rec = {{}}
+    rec["id"] = i
+    rec["label"] = "rec-" + str(i)
+    rec["vals"] = [i, i + 1, i + 2]
+    doc["records"].append(rec)
+text = json.dumps(doc)
+total = 0
+for rep in range({reps}):
+    back = json.loads(text)
+    total = total + len(back["records"])
+print(str(total) + " " + str(len(text)))
+"""
+
+
+def regex_compile(scale: int = 1) -> str:
+    reps = 10 * scale
+    return f"""
+parts = ["abc", "a+b", "[xyz]+", "foo|bar", "b?c*d"]
+subjects = ["abcabcabc" * 6, "aaabbb" * 6, "xyzzyx" * 6,
+            "fooby barby" * 6, "bcdddbcddd" * 6]
+total = 0
+for rep in range({reps}):
+    for i in range(len(parts)):
+        for j in range(len(subjects)):
+            m = re.search(parts[i], subjects[j])
+            if not m is None:
+                total = total + len(m)
+print(total)
+"""
+
+
+def regex_dna(scale: int = 1) -> str:
+    length = 120 * scale
+    return f"""
+def build_dna(n):
+    bases = "acgt"
+    out = []
+    x = 42
+    for i in range(n):
+        x = (x * 1103515245 + 12345) % 2147483648
+        out.append(bases[x % 4])
+    return "".join(out)
+
+dna = build_dna({length}) * 24
+patterns = ["agggtaaa|tttaccct", "[cgt]gggtaaa|tttaccc[acg]",
+            "a[act]ggtaaa|tttacc[agt]t", "agg[act]taaa|ttta[agt]cct"]
+total = 0
+for rep in range(3):
+    for p in patterns:
+        found = re.findall(p, dna)
+        total = total + len(found)
+short = re.findall("acgt", dna)
+print(str(total) + " " + str(len(short)))
+"""
+
+
+def regex_effbot(scale: int = 1) -> str:
+    reps = 12 * scale
+    return f"""
+def build_text(n):
+    words = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+    out = []
+    for i in range(n):
+        out.append(words[i % 6])
+        out.append(str(i))
+    return " ".join(out)
+
+text = build_text(40) * 8
+total = 0
+for rep in range({reps}):
+    total = total + len(re.findall("[a-z]+", text))
+    total = total + len(re.findall("[0-9]+", text))
+    m = re.search("charlie [0-9]+", text)
+    if not m is None:
+        total = total + len(m)
+print(total)
+"""
+
+
+def regex_v8(scale: int = 1) -> str:
+    reps = 6 * scale
+    return f"""
+def build_log(n):
+    out = []
+    for i in range(n):
+        out.append("GET /page/" + str(i) + ".html HTTP/1.1 code=" +
+                   str(200 + i % 4))
+    return " | ".join(out)
+
+log = build_log(20) * 8
+total = 0
+for rep in range({reps}):
+    hits = re.findall("GET /page/[0-9]+", log)
+    total = total + len(hits)
+    codes = re.findall("code=[0-9]+", log)
+    total = total + len(codes)
+    m = re.search("page/7[0-9]*", log)
+    if not m is None:
+        total = total + len(m)
+print(total)
+"""

@@ -1,0 +1,287 @@
+"""Allocation-heavy workloads: parsers, trees, symbolic math, churn.
+
+These are the benchmarks whose nursery-size behavior Figures 10-17
+study: eparse and the ``sym_*`` family build large object graphs,
+``tuple_gc`` and ``unpack_seq`` churn short-lived objects, and
+``pyxl_bench`` builds and renders an element tree.
+"""
+
+from __future__ import annotations
+
+
+def eparse(scale: int = 1) -> str:
+    reps = 12 * scale
+    return f"""
+class Node:
+    def __init__(self, kind, value, left, right):
+        self.kind = kind
+        self.value = value
+        self.left = left
+        self.right = right
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ""
+
+    def next(self):
+        tok = self.peek()
+        self.pos = self.pos + 1
+        return tok
+
+    def parse_expr(self):
+        node = self.parse_term()
+        while self.peek() == "+" or self.peek() == "-":
+            op = self.next()
+            right = self.parse_term()
+            node = Node("op", op, node, right)
+        return node
+
+    def parse_term(self):
+        node = self.parse_atom()
+        while self.peek() == "*":
+            op = self.next()
+            right = self.parse_atom()
+            node = Node("op", op, node, right)
+        return node
+
+    def parse_atom(self):
+        tok = self.next()
+        if tok == "(":
+            node = self.parse_expr()
+            self.next()
+            return node
+        return Node("num", tok, None, None)
+
+def evaluate(node):
+    if node.kind == "num":
+        return int(node.value)
+    a = evaluate(node.left)
+    b = evaluate(node.right)
+    if node.value == "+":
+        return a + b
+    if node.value == "-":
+        return a - b
+    return a * b
+
+def tokenize(expr):
+    tokens = []
+    for ch in expr:
+        if ch != " ":
+            tokens.append(ch)
+    return tokens
+
+exprs = ["1 + 2 * 3", "( 4 + 5 ) * ( 6 - 2 )", "7 * 8 + 9 * 2",
+         "( 1 + ( 2 + ( 3 + 4 ) ) ) * 5", "9 - 3 + 2 * 6"]
+total = 0
+for rep in range({reps}):
+    for e in exprs:
+        parser = Parser(tokenize(e))
+        tree = parser.parse_expr()
+        total = total + evaluate(tree)
+print(total)
+"""
+
+
+def pyxl_bench(scale: int = 1) -> str:
+    nodes = 60 * scale
+    return f"""
+class Element:
+    def __init__(self, tag):
+        self.tag = tag
+        self.children = []
+        self.attrs = {{}}
+
+    def append(self, child):
+        self.children.append(child)
+        return child
+
+    def render(self):
+        parts = ["<" + self.tag]
+        for key in self.attrs.keys():
+            parts.append(" " + key + "=" + str(self.attrs[key]))
+        parts.append(">")
+        for child in self.children:
+            parts.append(child.render())
+        parts.append("</" + self.tag + ">")
+        return "".join(parts)
+
+def build_tree(n):
+    root = Element("html")
+    body = root.append(Element("body"))
+    for i in range(n):
+        div = body.append(Element("div"))
+        div.attrs["id"] = i
+        span = div.append(Element("span"))
+        span.attrs["class"] = "item"
+    return root
+
+root = build_tree({nodes})
+html = root.render()
+print(len(html))
+"""
+
+
+def sym_expand(scale: int = 1) -> str:
+    reps = 6 * scale
+    return f"""
+class Sym:
+    def __init__(self, kind, name, args):
+        self.kind = kind
+        self.name = name
+        self.args = args
+
+def sym(name):
+    return Sym("var", name, [])
+
+def add(a, b):
+    return Sym("add", "", [a, b])
+
+def mul(a, b):
+    return Sym("mul", "", [a, b])
+
+def expand(node):
+    if node.kind == "var":
+        return node
+    a = expand(node.args[0])
+    b = expand(node.args[1])
+    if node.kind == "mul":
+        if a.kind == "add":
+            return add(expand(mul(a.args[0], b)),
+                       expand(mul(a.args[1], b)))
+        if b.kind == "add":
+            return add(expand(mul(a, b.args[0])),
+                       expand(mul(a, b.args[1])))
+    return Sym(node.kind, node.name, [a, b])
+
+def count_terms(node):
+    if node.kind == "add":
+        return count_terms(node.args[0]) + count_terms(node.args[1])
+    return 1
+
+total = 0
+for rep in range({reps}):
+    e = mul(add(sym("a"), sym("b")),
+            mul(add(sym("c"), sym("d")), add(sym("e"), sym("f"))))
+    expanded = expand(e)
+    total = total + count_terms(expanded)
+print(total)
+"""
+
+
+def sym_integrate(scale: int = 1) -> str:
+    terms = 80 * scale
+    return f"""
+def integrate(poly):
+    out = []
+    for term in poly:
+        coef, power = term
+        out.append((coef, power + 1, power + 1))
+    return out
+
+def eval_at(poly, x):
+    total = 0.0
+    for term in poly:
+        coef, power, denom = term
+        value = float(coef) / denom
+        for p in range(power):
+            value = value * x
+        total = total + value
+    return total
+
+poly = []
+for i in range({terms}):
+    poly.append((i % 7 + 1, i % 5))
+result = integrate(poly)
+print(int(eval_at(result, 0.9) * 1000))
+"""
+
+
+def sym_str(scale: int = 1) -> str:
+    reps = 20 * scale
+    return f"""
+def term_to_str(coef, power):
+    if power == 0:
+        return str(coef)
+    if power == 1:
+        return str(coef) + "*x"
+    return str(coef) + "*x^" + str(power)
+
+def poly_to_str(poly):
+    parts = []
+    for term in poly:
+        coef, power = term
+        parts.append(term_to_str(coef, power))
+    return " + ".join(parts)
+
+total = 0
+for rep in range({reps}):
+    poly = []
+    for i in range(12):
+        poly.append((rep + i, i))
+    text = poly_to_str(poly)
+    total = total + len(text)
+print(total)
+"""
+
+
+def sym_sum(scale: int = 1) -> str:
+    terms = 120 * scale
+    return f"""
+def simplify_sum(terms):
+    by_power = {{}}
+    for term in terms:
+        coef, power = term
+        by_power[power] = by_power.get(power, 0) + coef
+    out = []
+    for power in by_power.keys():
+        if by_power[power] != 0:
+            out.append((by_power[power], power))
+    return out
+
+terms = []
+for i in range({terms}):
+    coef = i % 11 - 5
+    terms.append((coef, i % 9))
+result = simplify_sum(terms)
+total = 0
+for term in result:
+    coef, power = term
+    total = total + coef * (power + 1)
+print(str(len(result)) + " " + str(total))
+"""
+
+
+def tuple_gc(scale: int = 1) -> str:
+    iterations = 1200 * scale
+    return f"""
+window = []
+total = 0
+for i in range({iterations}):
+    item = (i, i * 2, i % 7, "tag-" + str(i % 4))
+    window.append(item)
+    if len(window) > 32:
+        old = window.pop(0)
+        total = total + old[2]
+print(str(total) + " " + str(len(window)))
+"""
+
+
+def unpack_seq(scale: int = 1) -> str:
+    iterations = 1500 * scale
+    return f"""
+total = 0
+for i in range({iterations}):
+    triple = (i, i + 1, i + 2)
+    a, b, c = triple
+    total = total + a + b * 2 + c * 3
+    pair = (total % 97, i % 13)
+    x, y = pair
+    total = total + x - y
+print(total)
+"""

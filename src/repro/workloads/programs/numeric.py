@@ -1,0 +1,666 @@
+"""Numeric-kernel workloads: float arithmetic, linear algebra, bit work.
+
+These stress boxing/unboxing, arithmetic dispatch, and error (overflow)
+checks — the categories that dominate compute-bound rows of Figure 4.
+"""
+
+from __future__ import annotations
+
+
+def float_bench(scale: int = 1) -> str:
+    n = 60 * scale
+    return f"""
+class Point:
+    def __init__(self, i):
+        self.x = math.sin(i)
+        self.y = math.cos(i) * 3.0
+        self.z = (self.x * self.x) / 2.0
+
+    def normalize(self):
+        norm = math.sqrt(self.x * self.x + self.y * self.y
+                         + self.z * self.z)
+        self.x = self.x / norm
+        self.y = self.y / norm
+        self.z = self.z / norm
+
+    def maximize(self, other):
+        if other.x > self.x:
+            self.x = other.x
+        if other.y > self.y:
+            self.y = other.y
+        if other.z > self.z:
+            self.z = other.z
+        return self
+
+def benchmark(n):
+    points = []
+    for i in range(n):
+        points.append(Point(float(i)))
+    for p in points:
+        p.normalize()
+    result = points[0]
+    for p in points:
+        result = result.maximize(p)
+    return result
+
+res = benchmark({n})
+print(str(int(res.x * 1000)) + " " + str(int(res.y * 1000)))
+"""
+
+
+def nbody(scale: int = 1) -> str:
+    steps = 25 * scale
+    return f"""
+def advance(bodies, dt, steps):
+    n = len(bodies)
+    for s in range(steps):
+        for i in range(n):
+            bi = bodies[i]
+            for j in range(i + 1, n):
+                bj = bodies[j]
+                dx = bi[0] - bj[0]
+                dy = bi[1] - bj[1]
+                dz = bi[2] - bj[2]
+                d2 = dx * dx + dy * dy + dz * dz
+                mag = dt / (d2 * math.sqrt(d2))
+                bmj = bj[6] * mag
+                bi[3] = bi[3] - dx * bmj
+                bi[4] = bi[4] - dy * bmj
+                bi[5] = bi[5] - dz * bmj
+                bmi = bi[6] * mag
+                bj[3] = bj[3] + dx * bmi
+                bj[4] = bj[4] + dy * bmi
+                bj[5] = bj[5] + dz * bmi
+        for i in range(n):
+            b = bodies[i]
+            b[0] = b[0] + dt * b[3]
+            b[1] = b[1] + dt * b[4]
+            b[2] = b[2] + dt * b[5]
+
+def energy(bodies):
+    e = 0.0
+    n = len(bodies)
+    for i in range(n):
+        bi = bodies[i]
+        e = e + 0.5 * bi[6] * (bi[3] * bi[3] + bi[4] * bi[4]
+                               + bi[5] * bi[5])
+        for j in range(i + 1, n):
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            e = e - (bi[6] * bj[6]) / math.sqrt(dx * dx + dy * dy
+                                                + dz * dz)
+    return e
+
+bodies = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 39.47],
+    [4.84, -1.16, -0.1, 0.6, 2.8, -0.02, 0.037],
+    [8.34, 4.12, -0.4, -1.0, 1.8, 0.008, 0.011],
+    [12.89, -15.11, -0.22, 1.08, 0.86, -0.01, 0.0017],
+    [15.38, -25.92, 0.18, 0.98, 0.59, -0.03, 0.0002],
+]
+advance(bodies, 0.01, {steps})
+print(int(energy(bodies) * 100000))
+"""
+
+
+def fannkuch(scale: int = 1) -> str:
+    n = 6 if scale < 4 else 7
+    return f"""
+def fannkuch(n):
+    perm1 = []
+    for i in range(n):
+        perm1.append(i)
+    count = [0] * n
+    max_flips = 0
+    checksum = 0
+    r = n
+    sign = 1
+    while True:
+        if perm1[0] != 0:
+            perm = perm1[0:n]
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                i = 0
+                j = k
+                while i < j:
+                    t = perm[i]
+                    perm[i] = perm[j]
+                    perm[j] = t
+                    i = i + 1
+                    j = j - 1
+                flips = flips + 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            checksum = checksum + sign * flips
+        sign = -sign
+        r = 1
+        while True:
+            if r == n:
+                return (checksum, max_flips)
+            perm0 = perm1[0]
+            i = 0
+            while i < r:
+                perm1[i] = perm1[i + 1]
+                i = i + 1
+            perm1[r] = perm0
+            count[r] = count[r] + 1
+            if count[r] <= r:
+                break
+            count[r] = 0
+            r = r + 1
+
+cs, mf = fannkuch({n})
+print(str(cs) + " " + str(mf))
+"""
+
+
+def pidigits(scale: int = 1) -> str:
+    digits = 40 * scale
+    return f"""
+def pi_digits(n):
+    q = 1
+    r = 0
+    t = 1
+    k = 1
+    m = 3
+    x = 3
+    out = []
+    while len(out) < n:
+        if 4 * q + r - t < m * t:
+            out.append(m)
+            q2 = 10 * q
+            r2 = 10 * (r - m * t)
+            m2 = (10 * (3 * q + r)) // t - 10 * m
+            q = q2
+            r = r2
+            m = m2
+        else:
+            q2 = q * k
+            r2 = (2 * q + r) * x
+            t2 = t * x
+            k2 = k + 1
+            m2 = (q * (7 * k + 2) + r * x) // (t * x)
+            x2 = x + 2
+            q = q2
+            r = r2
+            t = t2
+            k = k2
+            m = m2
+            x = x2
+    return out
+
+ds = pi_digits({digits})
+total = 0
+for i in range(len(ds)):
+    total = total + ds[i] * (i + 1)
+print(total)
+"""
+
+
+def spectral_norm(scale: int = 1) -> str:
+    n = 12 * scale
+    return f"""
+def eval_a(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+def times(v, n, transpose):
+    out = []
+    for i in range(n):
+        total = 0.0
+        for j in range(n):
+            if transpose:
+                total = total + eval_a(j, i) * v[j]
+            else:
+                total = total + eval_a(i, j) * v[j]
+        out.append(total)
+    return out
+
+def times_both(v, n):
+    return times(times(v, n, False), n, True)
+
+n = {n}
+u = [1.0] * n
+v = []
+for it in range(6):
+    v = times_both(u, n)
+    u = times_both(v, n)
+vbv = 0.0
+vv = 0.0
+for i in range(n):
+    vbv = vbv + u[i] * v[i]
+    vv = vv + v[i] * v[i]
+print(int(math.sqrt(vbv / vv) * 1000000))
+"""
+
+
+def scimark_fft(scale: int = 1) -> str:
+    reps = 2 * scale
+    return f"""
+def bit_reverse(data, n):
+    j = 0
+    for i in range(n - 1):
+        if i < j:
+            tr = data[2 * i]
+            ti = data[2 * i + 1]
+            data[2 * i] = data[2 * j]
+            data[2 * i + 1] = data[2 * j + 1]
+            data[2 * j] = tr
+            data[2 * j + 1] = ti
+        k = n // 2
+        while k <= j:
+            j = j - k
+            k = k // 2
+        j = j + k
+
+def fft(data, n):
+    bit_reverse(data, n)
+    size = 2
+    while size <= n:
+        half = size // 2
+        step = n // size
+        for i in range(0, n, size):
+            for j in range(half):
+                angle = -3.141592653589793 * 2.0 * j * step / n
+                wr = math.cos(angle)
+                wi = math.sin(angle)
+                a = i + j
+                b = i + j + half
+                tr = wr * data[2 * b] - wi * data[2 * b + 1]
+                ti = wr * data[2 * b + 1] + wi * data[2 * b]
+                data[2 * b] = data[2 * a] - tr
+                data[2 * b + 1] = data[2 * a + 1] - ti
+                data[2 * a] = data[2 * a] + tr
+                data[2 * a + 1] = data[2 * a + 1] + ti
+        size = size * 2
+
+total = 0
+for rep in range({reps}):
+    n = 64
+    data = []
+    for i in range(2 * n):
+        data.append(float((i * 7 + rep) % 13) / 13.0)
+    fft(data, n)
+    total = total + int(abs(data[2]) * 1000)
+print(total)
+"""
+
+
+def scimark_lu(scale: int = 1) -> str:
+    reps = 3 * scale
+    return f"""
+def lu_factor(a, n):
+    pivots = [0] * n
+    for j in range(n):
+        jp = j
+        t = abs(a[j][j])
+        for i in range(j + 1, n):
+            ab = abs(a[i][j])
+            if ab > t:
+                jp = i
+                t = ab
+        pivots[j] = jp
+        if jp != j:
+            tmp = a[j]
+            a[j] = a[jp]
+            a[jp] = tmp
+        if a[j][j] != 0.0:
+            recp = 1.0 / a[j][j]
+            for k in range(j + 1, n):
+                a[k][j] = a[k][j] * recp
+        if j < n - 1:
+            for ii in range(j + 1, n):
+                aii = a[ii]
+                aj = a[j]
+                mult = aii[j]
+                for kk in range(j + 1, n):
+                    aii[kk] = aii[kk] - mult * aj[kk]
+    return pivots
+
+total = 0
+for rep in range({reps}):
+    n = 10
+    a = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            row.append(float((i * n + j + rep) % 17) + 1.0)
+        a.append(row)
+    lu_factor(a, n)
+    total = total + int(abs(a[n - 1][n - 1]) * 100)
+print(total)
+"""
+
+
+def scimark_sor(scale: int = 1) -> str:
+    iters = 8 * scale
+    return f"""
+def sor(grid, n, m, omega, iters):
+    for it in range(iters):
+        for i in range(1, n - 1):
+            gi = grid[i]
+            gim = grid[i - 1]
+            gip = grid[i + 1]
+            for j in range(1, m - 1):
+                gi[j] = omega * 0.25 * (gim[j] + gip[j] + gi[j - 1]
+                                        + gi[j + 1]) \\
+                    + (1.0 - omega) * gi[j]
+
+n = 14
+m = 14
+grid = []
+for i in range(n):
+    row = []
+    for j in range(m):
+        row.append(float((i * m + j) % 11))
+    grid.append(row)
+sor(grid, n, m, 1.25, {iters})
+total = 0.0
+for i in range(n):
+    for j in range(m):
+        total = total + grid[i][j]
+print(int(total * 1000))
+"""
+
+
+def scimark_sparse(scale: int = 1) -> str:
+    iters = 5 * scale
+    return f"""
+def sparse_matmult(y, val, row, col, x, iters):
+    n = len(y)
+    for it in range(iters):
+        for r in range(n):
+            total = 0.0
+            for i in range(row[r], row[r + 1]):
+                total = total + x[col[i]] * val[i]
+            y[r] = total
+
+n = 80
+nz = 5
+row = [0]
+col = []
+val = []
+for r in range(n):
+    for k in range(nz):
+        col.append((r * 7 + k * 13) % n)
+        val.append(float(k + 1))
+    row.append(len(col))
+x = [1.0] * n
+y = [0.0] * n
+sparse_matmult(y, val, row, col, x, {iters})
+total = 0.0
+for r in range(n):
+    total = total + y[r]
+print(int(total))
+"""
+
+
+def scimark_monte(scale: int = 1) -> str:
+    samples = 1500 * scale
+    return f"""
+rnd.seed(42)
+inside = 0
+n = {samples}
+for i in range(n):
+    x = rnd.random()
+    y = rnd.random()
+    if x * x + y * y <= 1.0:
+        inside = inside + 1
+print(inside)
+"""
+
+
+def telco(scale: int = 1) -> str:
+    calls = 400 * scale
+    return f"""
+rnd.seed(7)
+total_cents = 0
+basic_tax = 0
+dist_tax = 0
+for i in range({calls}):
+    duration = rnd.randint(1, 7200)
+    rate = 9
+    if i % 3 == 0:
+        rate = 13
+    price = duration * rate // 100
+    btax = price * 9 // 100
+    total_cents = total_cents + price + btax
+    basic_tax = basic_tax + btax
+    if i % 3 == 0:
+        dtax = price * 62 // 1000
+        total_cents = total_cents + dtax
+        dist_tax = dist_tax + dtax
+print(str(total_cents) + " " + str(basic_tax) + " " + str(dist_tax))
+"""
+
+
+def crypto_pyaes(scale: int = 1) -> str:
+    rounds = 60 * scale
+    return f"""
+def make_sbox():
+    sbox = []
+    for i in range(256):
+        v = i
+        v = (v * 7 + 99) % 256
+        v = v ^ (v // 16)
+        sbox.append(v % 256)
+    return sbox
+
+def encrypt_block(state, sbox, rounds):
+    for r in range(rounds):
+        for i in range(16):
+            state[i] = sbox[state[i]]
+        t = state[0]
+        for i in range(15):
+            state[i] = state[i + 1]
+        state[15] = t
+        for i in range(0, 16, 4):
+            a = state[i] ^ state[i + 1]
+            b = state[i + 2] ^ state[i + 3]
+            state[i] = (state[i] + a) % 256
+            state[i + 2] = (state[i + 2] + b) % 256
+    return state
+
+sbox = make_sbox()
+state = []
+for i in range(16):
+    state.append((i * 17 + 3) % 256)
+state = encrypt_block(state, sbox, {rounds})
+total = 0
+for i in range(16):
+    total = total + state[i] * (i + 1)
+print(total)
+"""
+
+
+def meteor_contest(scale: int = 1) -> str:
+    limit = 220 * scale
+    return f"""
+def count_bits(x):
+    n = 0
+    while x:
+        x = x & (x - 1)
+        n = n + 1
+    return n
+
+def solve(width, height, limit):
+    full = (1 << (width * height)) - 1
+    pieces = [3, 6, 12, 15, 51, 85]
+    solutions = 0
+    tried = 0
+    stack = [(0, 0)]
+    while len(stack) > 0 and tried < limit:
+        board, idx = stack.pop()
+        tried = tried + 1
+        if board == full:
+            solutions = solutions + 1
+            continue
+        if idx >= len(pieces):
+            continue
+        piece = pieces[idx]
+        for shift in range(width * height):
+            placed = piece << shift
+            if placed > full:
+                break
+            if (board & placed) == 0:
+                stack.append((board | placed, idx + 1))
+        stack.append((board, idx + 1))
+    return (solutions, tried)
+
+s, t = solve(4, 4, {limit})
+print(str(s) + " " + str(t))
+"""
+
+
+def nqueens(scale: int = 1) -> str:
+    n = 6 if scale < 3 else 7
+    return f"""
+def solve(n, row, cols, diag1, diag2):
+    if row == n:
+        return 1
+    count = 0
+    for col in range(n):
+        d1 = row + col
+        d2 = row - col + n
+        if cols[col] == 0 and diag1[d1] == 0 and diag2[d2] == 0:
+            cols[col] = 1
+            diag1[d1] = 1
+            diag2[d2] = 1
+            count = count + solve(n, row + 1, cols, diag1, diag2)
+            cols[col] = 0
+            diag1[d1] = 0
+            diag2[d2] = 0
+    return count
+
+n = {n}
+print(solve(n, 0, [0] * n, [0] * (2 * n), [0] * (2 * n)))
+"""
+
+
+def pyflate(scale: int = 1) -> str:
+    length = 700 * scale
+    return f"""
+def build_data(n):
+    data = []
+    x = 11
+    for i in range(n):
+        x = (x * 1103515245 + 12345) % 2147483648
+        data.append(x % 256)
+    return data
+
+def bit_stream_decode(data):
+    out = []
+    acc = 0
+    nbits = 0
+    for byte in data:
+        acc = acc | (byte << nbits)
+        nbits = nbits + 8
+        while nbits >= 5:
+            code = acc & 31
+            acc = acc >> 5
+            nbits = nbits - 5
+            if code < 16:
+                out.append(code)
+            else:
+                run = code - 14
+                if len(out) > 0:
+                    last = out[len(out) - 1]
+                else:
+                    last = 0
+                for r in range(run):
+                    out.append(last)
+    return out
+
+data = build_data({length})
+out = bit_stream_decode(data)
+total = 0
+for i in range(len(out)):
+    total = total + out[i]
+print(str(len(out)) + " " + str(total))
+"""
+
+
+def go_bench(scale: int = 1) -> str:
+    moves = 160 * scale
+    return f"""
+rnd.seed(123)
+
+def neighbors(pos, size):
+    result = []
+    x = pos % size
+    y = pos // size
+    if x > 0:
+        result.append(pos - 1)
+    if x < size - 1:
+        result.append(pos + 1)
+    if y > 0:
+        result.append(pos - size)
+    if y < size - 1:
+        result.append(pos + size)
+    return result
+
+def count_liberties(board, pos, size):
+    libs = 0
+    for n in neighbors(pos, size):
+        if board[n] == 0:
+            libs = libs + 1
+    return libs
+
+def playout(size, moves):
+    board = [0] * (size * size)
+    captures = 0
+    color = 1
+    for m in range(moves):
+        pos = rnd.randint(0, size * size - 1)
+        if board[pos] == 0:
+            board[pos] = color
+            for n in neighbors(pos, size):
+                if board[n] != 0 and board[n] != color:
+                    if count_liberties(board, n, size) == 0:
+                        board[n] = 0
+                        captures = captures + 1
+        color = 3 - color
+    stones = 0
+    for v in board:
+        if v != 0:
+            stones = stones + 1
+    return (stones, captures)
+
+s, c = playout(9, {moves})
+print(str(s) + " " + str(c))
+"""
+
+
+def hexiom(scale: int = 1) -> str:
+    limit = 350 * scale
+    return f"""
+def hexiom_solve(cells, limit):
+    n = len(cells)
+    best = -1
+    tried = 0
+    stack = [(0, 0, [])]
+    while len(stack) > 0 and tried < limit:
+        idx, score, used = stack.pop()
+        tried = tried + 1
+        if idx == n:
+            if score > best:
+                best = score
+            continue
+        target = cells[idx]
+        for value in range(3):
+            if not value in used or len(used) > 4:
+                gain = 0
+                if value == target:
+                    gain = value + 1
+                nu = used[0:len(used)]
+                nu.append(value)
+                stack.append((idx + 1, score + gain, nu))
+    return (best, tried)
+
+cells = [2, 0, 1, 2, 1, 0, 2, 1]
+b, t = hexiom_solve(cells, {limit})
+print(str(b) + " " + str(t))
+"""

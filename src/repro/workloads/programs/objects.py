@@ -1,0 +1,287 @@
+"""Object-oriented application workloads: richards, deltablue, chaos,
+raytrace, rietveld, dulwich_log.
+
+These stress attribute access (name resolution), method dispatch
+(function resolution + setup/cleanup), and instance allocation.
+"""
+
+from __future__ import annotations
+
+
+def richards(scale: int = 1) -> str:
+    iterations = 30 * scale
+    return f"""
+class Packet:
+    def __init__(self, link, ident, kind):
+        self.link = link
+        self.ident = ident
+        self.kind = kind
+        self.datum = 0
+
+class Task:
+    def __init__(self, ident, priority, kind):
+        self.ident = ident
+        self.priority = priority
+        self.kind = kind
+        self.queue_len = 0
+        self.work_done = 0
+        self.holds = 0
+
+    def run_once(self, packet):
+        self.work_done = self.work_done + 1
+        if packet is None:
+            self.holds = self.holds + 1
+            return 0
+        packet.datum = packet.datum + self.priority
+        return packet.datum
+
+def schedule(iterations):
+    tasks = []
+    tasks.append(Task(0, 3, 0))
+    tasks.append(Task(1, 2, 1))
+    tasks.append(Task(2, 1, 2))
+    tasks.append(Task(3, 4, 1))
+    work = 0
+    queue = []
+    for it in range(iterations):
+        for t in tasks:
+            if it % (t.priority + 1) == 0:
+                p = Packet(None, t.ident, t.kind)
+                queue.append(p)
+                t.queue_len = t.queue_len + 1
+            if len(queue) > 0:
+                pkt = queue.pop(0)
+                work = work + t.run_once(pkt)
+            else:
+                work = work + t.run_once(None)
+    total_holds = 0
+    for t in tasks:
+        total_holds = total_holds + t.holds
+    return (work, total_holds)
+
+w, h = schedule({iterations})
+print(str(w) + " " + str(h))
+"""
+
+
+def deltablue(scale: int = 1) -> str:
+    chains = 10 * scale
+    return f"""
+class Variable:
+    def __init__(self, value):
+        self.value = value
+        self.stay = False
+        self.determined_by = None
+
+class EqualityConstraint:
+    def __init__(self, a, b, strength):
+        self.a = a
+        self.b = b
+        self.strength = strength
+        self.satisfied = False
+
+    def execute(self):
+        if self.a.stay:
+            self.b.value = self.a.value
+            self.b.determined_by = self
+        else:
+            self.a.value = self.b.value
+            self.a.determined_by = self
+        self.satisfied = True
+        return 1
+
+def chain_test(n):
+    total = 0
+    for c in range(n):
+        variables = []
+        for i in range(12):
+            variables.append(Variable(i + c))
+        variables[0].stay = True
+        constraints = []
+        for i in range(11):
+            constraints.append(
+                EqualityConstraint(variables[i], variables[i + 1], i % 3))
+        for rounds in range(3):
+            for con in constraints:
+                total = total + con.execute()
+        total = total + variables[11].value
+    return total
+
+print(chain_test({chains}))
+"""
+
+
+def chaos(scale: int = 1) -> str:
+    points = 250 * scale
+    return f"""
+class GVector:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def dist(self, other):
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
+
+    def scaled(self, factor):
+        return GVector(self.x * factor, self.y * factor)
+
+    def plus(self, other):
+        return GVector(self.x + other.x, self.y + other.y)
+
+def chaos_game(n):
+    rnd.seed(1234)
+    corners = [GVector(0.0, 0.0), GVector(1.0, 0.0), GVector(0.5, 0.87)]
+    point = GVector(0.25, 0.25)
+    total = 0.0
+    for i in range(n):
+        corner = corners[rnd.randint(0, 2)]
+        point = point.plus(corner).scaled(0.5)
+        total = total + point.dist(corners[0])
+    return total
+
+print(int(chaos_game({points}) * 1000))
+"""
+
+
+def raytrace(scale: int = 1) -> str:
+    size = 6 * scale
+    return f"""
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def add(self, o):
+        return Vec(self.x + o.x, self.y + o.y, self.z + o.z)
+
+    def sub(self, o):
+        return Vec(self.x - o.x, self.y - o.y, self.z - o.z)
+
+    def scale(self, f):
+        return Vec(self.x * f, self.y * f, self.z * f)
+
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+
+class Sphere:
+    def __init__(self, center, radius):
+        self.center = center
+        self.radius = radius
+
+    def intersect(self, origin, direction):
+        oc = origin.sub(self.center)
+        b = 2.0 * oc.dot(direction)
+        c = oc.dot(oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return -1.0
+        return (0.0 - b - math.sqrt(disc)) / 2.0
+
+def render(size):
+    spheres = [Sphere(Vec(0.0, 0.0, -3.0), 1.0),
+               Sphere(Vec(1.5, 0.5, -4.0), 0.8)]
+    origin = Vec(0.0, 0.0, 0.0)
+    hits = 0
+    brightness = 0.0
+    for py in range(size):
+        for px in range(size):
+            dx = (px + 0.5) / size - 0.5
+            dy = (py + 0.5) / size - 0.5
+            direction = Vec(dx, dy, -1.0)
+            norm = math.sqrt(direction.dot(direction))
+            direction = direction.scale(1.0 / norm)
+            nearest = 1000000.0
+            for s in spheres:
+                t = s.intersect(origin, direction)
+                if t > 0.0 and t < nearest:
+                    nearest = t
+            if nearest < 1000000.0:
+                hits = hits + 1
+                brightness = brightness + 1.0 / nearest
+    return (hits, brightness)
+
+h, b = render({size})
+print(str(h) + " " + str(int(b * 100)))
+"""
+
+
+def rietveld(scale: int = 1) -> str:
+    reps = 2 * scale
+    return f"""
+def make_lines(n, seed):
+    lines = []
+    x = seed
+    for i in range(n):
+        x = (x * 1103515245 + 12345) % 2147483648
+        lines.append("line-" + str(x % 40))
+    return lines
+
+def lcs_length(a, b):
+    n = len(a)
+    m = len(b)
+    prev = [0] * (m + 1)
+    for i in range(n):
+        cur = [0]
+        for j in range(m):
+            if a[i] == b[j]:
+                cur.append(prev[j] + 1)
+            else:
+                left = cur[j]
+                up = prev[j + 1]
+                if left > up:
+                    cur.append(left)
+                else:
+                    cur.append(up)
+        prev = cur
+    return prev[m]
+
+total = 0
+for rep in range({reps}):
+    old = make_lines(28, 3 + rep)
+    new = make_lines(28, 5 + rep)
+    total = total + lcs_length(old, new)
+print(total)
+"""
+
+
+def dulwich_log(scale: int = 1) -> str:
+    commits = 150 * scale
+    return f"""
+def build_history(n):
+    commits = []
+    for i in range(n):
+        commit = {{}}
+        commit["id"] = i
+        commit["author"] = "dev-" + str(i % 7)
+        if i == 0:
+            commit["parent"] = -1
+        else:
+            commit["parent"] = i - (1 + i % 3)
+            if commit["parent"] < 0:
+                commit["parent"] = 0
+        commits.append(commit)
+    return commits
+
+def walk_log(commits):
+    seen = {{}}
+    count = 0
+    authors = {{}}
+    head = len(commits) - 1
+    while head >= 0:
+        if head in seen:
+            break
+        seen[head] = True
+        commit = commits[head]
+        count = count + 1
+        name = commit["author"]
+        authors[name] = authors.get(name, 0) + 1
+        head = commit["parent"]
+    return (count, len(authors))
+
+commits = build_history({commits})
+c, a = walk_log(commits)
+print(str(c) + " " + str(a))
+"""

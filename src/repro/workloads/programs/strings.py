@@ -1,0 +1,166 @@
+"""Template-engine and string-processing workloads.
+
+chameleon/mako/spitfire model template rendering (string building and
+substitution); html5lib models tokenization; logging_format models
+message formatting.
+"""
+
+from __future__ import annotations
+
+
+def chameleon(scale: int = 1) -> str:
+    rows = 30 * scale
+    return f"""
+def render_table(rows, cols):
+    parts = ["<table>"]
+    for r in range(rows):
+        parts.append("<tr>")
+        for c in range(cols):
+            parts.append("<td>" + str(r * cols + c) + "</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+html = render_table({rows}, 8)
+print(str(len(html)) + " " + str(html.count("<td>")))
+"""
+
+
+def mako(scale: int = 1) -> str:
+    reps = 25 * scale
+    return f"""
+def render(template, context):
+    out = template
+    for key in context.keys():
+        out = out.replace("${{" + key + "}}", str(context[key]))
+    return out
+
+template = "<div><h1>${{title}}</h1><p>${{body}}</p>" + \\
+           "<span>${{user}}:${{count}}</span></div>"
+total = 0
+for i in range({reps}):
+    context = {{}}
+    context["title"] = "Page " + str(i)
+    context["body"] = "content-" + str(i * 3)
+    context["user"] = "user" + str(i % 5)
+    context["count"] = i
+    page = render(template, context)
+    total = total + len(page)
+print(total)
+"""
+
+
+def spitfire(scale: int = 1) -> str:
+    rows = 40 * scale
+    return f"""
+def render_rows(n):
+    buffer = []
+    for i in range(n):
+        row = []
+        row.append("<tr>")
+        for j in range(10):
+            row.append("<td>")
+            row.append(str(i * j))
+            row.append("</td>")
+        row.append("</tr>")
+        buffer.append("".join(row))
+    return "\\n".join(buffer)
+
+out = render_rows({rows})
+print(len(out))
+"""
+
+
+def spitfire_cstringio(scale: int = 1) -> str:
+    rows = 18 * scale
+    return f"""
+def render_concat(n):
+    out = ""
+    for i in range(n):
+        out = out + "<tr>"
+        for j in range(10):
+            out = out + "<td>" + str(i * j) + "</td>"
+        out = out + "</tr>"
+    return out
+
+out = render_concat({rows})
+print(len(out))
+"""
+
+
+def html5lib(scale: int = 1) -> str:
+    length = 40 * scale
+    return f"""
+def build_document(n):
+    parts = []
+    for i in range(n):
+        parts.append("<div class=box id=" + str(i) + ">text " +
+                     str(i * 7) + " more</div>")
+    return "".join(parts)
+
+def tokenize(html):
+    tokens = []
+    i = 0
+    n = len(html)
+    while i < n:
+        ch = html[i]
+        if ch == "<":
+            end = i
+            while end < n and html[end] != ">":
+                end = end + 1
+            tag = {{}}
+            tag["kind"] = "tag"
+            tag["data"] = html[i + 1:end]
+            tokens.append(tag)
+            i = end + 1
+        else:
+            end = i
+            while end < n and html[end] != "<":
+                end = end + 1
+            text = {{}}
+            text["kind"] = "text"
+            text["data"] = html[i:end]
+            tokens.append(text)
+            i = end
+    return tokens
+
+doc = build_document({length})
+tokens = tokenize(doc)
+tags = 0
+chars = 0
+for t in tokens:
+    if t["kind"] == "tag":
+        tags = tags + 1
+    else:
+        chars = chars + len(t["data"])
+print(str(len(tokens)) + " " + str(tags) + " " + str(chars))
+"""
+
+
+def logging_format(scale: int = 1) -> str:
+    records = 250 * scale
+    return f"""
+def format_record(level, name, msg, seq):
+    parts = []
+    parts.append("[")
+    parts.append(level)
+    parts.append("] ")
+    parts.append(name)
+    parts.append(" #")
+    parts.append(str(seq))
+    parts.append(": ")
+    parts.append(msg)
+    return "".join(parts)
+
+levels = ["DEBUG", "INFO", "WARNING", "ERROR"]
+total = 0
+dropped = 0
+for i in range({records}):
+    level = levels[i % 4]
+    if level == "DEBUG" and i % 3 != 0:
+        dropped = dropped + 1
+    else:
+        line = format_record(level, "app.module", "event happened", i)
+        total = total + len(line)
+print(str(total) + " " + str(dropped))
+"""

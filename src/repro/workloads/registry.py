@@ -1,0 +1,172 @@
+"""Workload registry: all 48 Python-suite benchmarks, with metadata.
+
+Figure subsets follow the paper: Figure 8 sweeps eight benchmarks on
+PyPy with JIT; Figures 14/15 sweep eight benchmarks across nursery
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import WorkloadError
+from .programs import clib, gc_heavy, numeric, objects, strings
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark: a name, a class tag, and a source builder."""
+
+    name: str
+    tag: str
+    builder: Callable[[int], str]
+    description: str
+
+    def source(self, scale: int = 1) -> str:
+        if scale < 1:
+            raise WorkloadError(f"{self.name}: scale must be >= 1")
+        return self.builder(scale)
+
+
+def _spec(name: str, tag: str, builder, description: str) -> WorkloadSpec:
+    return WorkloadSpec(name=name, tag=tag, builder=builder,
+                        description=description)
+
+
+_WORKLOADS = [
+    # -- numeric kernels -----------------------------------------------
+    _spec("float", "numeric", numeric.float_bench,
+          "Point objects with float attribute arithmetic"),
+    _spec("nbody", "numeric", numeric.nbody,
+          "planetary n-body simulation over float lists"),
+    _spec("fannkuch", "numeric", numeric.fannkuch,
+          "pancake-flip permutation kernel"),
+    _spec("pidigits", "numeric", numeric.pidigits,
+          "spigot pi-digit generation with big integers"),
+    _spec("spectral_norm", "numeric", numeric.spectral_norm,
+          "matrix-free spectral norm power iteration"),
+    _spec("scimark_fft", "numeric", numeric.scimark_fft,
+          "radix-2 FFT over a flat float list"),
+    _spec("scimark_lu", "numeric", numeric.scimark_lu,
+          "LU factorization with partial pivoting"),
+    _spec("scimark_sor", "numeric", numeric.scimark_sor,
+          "successive over-relaxation stencil"),
+    _spec("scimark_sparse", "numeric", numeric.scimark_sparse,
+          "CSR sparse matrix-vector products"),
+    _spec("scimark_monte", "numeric", numeric.scimark_monte,
+          "Monte Carlo pi estimation"),
+    _spec("telco", "numeric", numeric.telco,
+          "telephone billing integer arithmetic"),
+    _spec("crypto_pyaes", "numeric", numeric.crypto_pyaes,
+          "AES-like S-box/shift/mix rounds"),
+    _spec("meteor_contest", "numeric", numeric.meteor_contest,
+          "bitboard piece-placement search"),
+    _spec("nqueens", "numeric", numeric.nqueens,
+          "recursive N-queens backtracking"),
+    _spec("pyflate", "numeric", numeric.pyflate,
+          "bit-stream decoding with run-length expansion"),
+    _spec("go", "numeric", numeric.go_bench,
+          "9x9 go random playout with captures"),
+    _spec("hexiom", "numeric", numeric.hexiom,
+          "hex puzzle brute-force search"),
+    # -- C-library bound -------------------------------------------------
+    _spec("pickle", "clib", clib.pickle_bench,
+          "serialize/deserialize mixed objects"),
+    _spec("pickle_dict", "clib", clib.pickle_dict,
+          "serialize a string-keyed dict"),
+    _spec("pickle_list", "clib", clib.pickle_list,
+          "serialize/deserialize an int list"),
+    _spec("unpickle", "clib", clib.unpickle,
+          "deserialize a mixed dict repeatedly"),
+    _spec("unpickle_list", "clib", clib.unpickle_list,
+          "deserialize an int list repeatedly"),
+    _spec("json_dumps", "clib", clib.json_dumps,
+          "JSON-encode nested documents"),
+    _spec("json_loads", "clib", clib.json_loads,
+          "JSON-decode nested documents"),
+    _spec("regex_compile", "clib", clib.regex_compile,
+          "many small patterns over short subjects"),
+    _spec("regex_dna", "clib", clib.regex_dna,
+          "DNA motif alternation search"),
+    _spec("regex_effbot", "clib", clib.regex_effbot,
+          "word/number scanning patterns"),
+    _spec("regex_v8", "clib", clib.regex_v8,
+          "log-scanning patterns"),
+    # -- object-oriented applications -----------------------------------
+    _spec("richards", "oo", objects.richards,
+          "OS task scheduler simulation"),
+    _spec("deltablue", "oo", objects.deltablue,
+          "one-way constraint propagation chains"),
+    _spec("chaos", "oo", objects.chaos,
+          "chaos-game fractal with vector objects"),
+    _spec("raytrace", "oo", objects.raytrace,
+          "sphere ray casting with vector objects"),
+    _spec("rietveld", "oo", objects.rietveld,
+          "LCS diff over synthetic code reviews"),
+    _spec("dulwich_log", "oo", objects.dulwich_log,
+          "commit-graph log walk"),
+    # -- template / string processing ------------------------------------
+    _spec("chameleon", "string", strings.chameleon,
+          "HTML table rendering via join"),
+    _spec("mako", "string", strings.mako,
+          "template substitution via replace"),
+    _spec("spitfire", "string", strings.spitfire,
+          "row rendering with buffered join"),
+    _spec("spitfire_cstringio", "string", strings.spitfire_cstringio,
+          "row rendering with string concatenation"),
+    _spec("html5lib", "string", strings.html5lib,
+          "HTML tokenizer over a synthetic document"),
+    _spec("logging_format", "string", strings.logging_format,
+          "log record formatting with level filtering"),
+    # -- allocation / GC heavy --------------------------------------------
+    _spec("eparse", "gc", gc_heavy.eparse,
+          "recursive-descent expression parser building AST nodes"),
+    _spec("pyxl_bench", "gc", gc_heavy.pyxl_bench,
+          "element-tree construction and rendering"),
+    _spec("sym_expand", "gc", gc_heavy.sym_expand,
+          "symbolic product expansion over expression trees"),
+    _spec("sym_integrate", "gc", gc_heavy.sym_integrate,
+          "polynomial term integration"),
+    _spec("sym_str", "gc", gc_heavy.sym_str,
+          "symbolic expression stringification"),
+    _spec("sym_sum", "gc", gc_heavy.sym_sum,
+          "symbolic sum simplification"),
+    _spec("tuple_gc", "gc", gc_heavy.tuple_gc,
+          "sliding-window tuple churn"),
+    _spec("unpack_seq", "gc", gc_heavy.unpack_seq,
+          "tuple build/unpack in a tight loop"),
+]
+
+_REGISTRY: dict[str, WorkloadSpec] = {spec.name: spec
+                                      for spec in _WORKLOADS}
+
+#: Every benchmark of the Python suite (paper Section III: 48 programs).
+PYTHON_SUITE = tuple(spec.name for spec in _WORKLOADS)
+
+#: Figure 8 per-benchmark sweep set.
+SWEEP_BENCHMARKS = ("go", "float", "eparse", "spitfire", "regex_v8",
+                    "richards", "unpack_seq", "sym_integrate")
+
+#: Figure 14/15 nursery sweep set.
+NURSERY_BENCHMARKS = ("eparse", "fannkuch", "html5lib", "logging_format",
+                      "pyxl_bench", "spitfire", "telco", "unpack_seq")
+
+#: A small mixed subset for quick runs (one per workload class).
+BREAKDOWN_QUICK_SUITE = ("float", "richards", "pickle_list", "mako",
+                         "tuple_gc", "regex_dna", "eparse", "nqueens")
+
+
+def workload_names(tag: str | None = None) -> tuple[str, ...]:
+    """All workload names, optionally filtered by class tag."""
+    if tag is None:
+        return PYTHON_SUITE
+    return tuple(spec.name for spec in _WORKLOADS if spec.tag == tag)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(PYTHON_SUITE)}")
+    return spec

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import pypy_runtime, v8_runtime
+from repro.frontend import compile_source
+from repro.host import AddressSpace, HostMachine
+from repro.vm.cpython import CPythonVM
+from repro.vm.pypy import PyPyVM
+from repro.vm.v8 import V8VM
+
+
+def run_source(source: str, runtime: str = "cpython", jit: bool = True,
+               nursery: int = 1 << 20,
+               max_instructions: int = 20_000_000):
+    """Compile and run MiniPy source; returns (vm, machine)."""
+    program = compile_source(source, "<test>")
+    space = AddressSpace(nursery_size=nursery)
+    machine = HostMachine(space, max_instructions=max_instructions)
+    if runtime == "cpython":
+        vm = CPythonVM(machine, program)
+    elif runtime == "pypy":
+        vm = PyPyVM(machine, program,
+                    pypy_runtime(jit=jit, nursery_size=nursery))
+    elif runtime == "v8":
+        vm = V8VM(machine, program, v8_runtime(nursery_size=nursery))
+    else:
+        raise ValueError(runtime)
+    vm.run()
+    return vm, machine
+
+
+def guest_output(source: str, runtime: str = "cpython", **kwargs):
+    """Run source and return the captured print lines."""
+    vm, _ = run_source(source, runtime=runtime, **kwargs)
+    return vm.output
+
+
+@pytest.fixture
+def cpython_run():
+    return lambda src, **kw: run_source(src, "cpython", **kw)
+
+
+@pytest.fixture
+def pypy_run():
+    return lambda src, **kw: run_source(src, "pypy", **kw)

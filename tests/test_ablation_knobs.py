@@ -1,0 +1,82 @@
+"""Unit tests for the ablation knobs (global IC, freelist, devirtualize)."""
+
+from repro.categories import OverheadCategory as C
+from repro.frontend import compile_source
+from repro.host import AddressSpace, HostMachine
+from repro.host.isa import InstrKind
+from repro.vm.cpython import CPythonVM
+
+GLOBAL_HEAVY = """
+limit = 40
+total = 0
+
+def work():
+    global total
+    for i in range(limit):
+        total = total + limit - i
+
+work()
+print(total)
+"""
+
+
+def run_vm(source, **kwargs):
+    program = compile_source(source, "<ablation>")
+    machine = HostMachine(AddressSpace(), max_instructions=10_000_000)
+    vm = CPythonVM(machine, program, **kwargs)
+    vm.run()
+    return vm, machine
+
+
+def test_global_cache_preserves_semantics():
+    base_vm, _ = run_vm(GLOBAL_HEAVY)
+    cached_vm, _ = run_vm(GLOBAL_HEAVY, global_cache=True)
+    assert cached_vm.output == base_vm.output
+
+
+def test_global_cache_reduces_name_resolution_instructions():
+    _, base_machine = run_vm(GLOBAL_HEAVY)
+    _, cached_machine = run_vm(GLOBAL_HEAVY, global_cache=True)
+    # The cached path also removes lookdict's UNRESOLVED work that would
+    # resolve to name resolution, so compare total instructions too.
+    assert len(cached_machine.trace) < len(base_machine.trace)
+    base = base_machine.trace.category_counts()
+    cached = cached_machine.trace.category_counts()
+    assert cached[int(C.UNRESOLVED)] < base[int(C.UNRESOLVED)]
+
+
+def test_freelist_off_preserves_semantics():
+    base_vm, _ = run_vm(GLOBAL_HEAVY)
+    bump_vm, _ = run_vm(GLOBAL_HEAVY, recycle_freelist=False)
+    assert bump_vm.output == base_vm.output
+
+
+def test_freelist_off_disables_reuse():
+    source = """
+total = 0
+for i in range(200):
+    x = i * 997
+    total = total + x % 11
+print(total)
+"""
+    recycled_vm, recycled_machine = run_vm(source)
+    bump_vm, bump_machine = run_vm(source, recycle_freelist=False)
+    assert bump_vm.allocator.reuse_count == 0
+    assert recycled_vm.allocator.reuse_count > 0
+    assert bump_machine.space.heap.used > recycled_machine.space.heap.used
+
+
+def test_devirtualize_removes_indirect_calls():
+    source = "total = 0\nfor i in range(50):\n    total = total + i\n" \
+             "print(total)\n"
+    program = compile_source(source, "<devirt>")
+    machine = HostMachine(AddressSpace())
+    machine.devirtualize = True
+    vm = CPythonVM(machine, program)
+    vm.run()
+    kinds = machine.trace.column("kind")
+    assert (kinds == int(InstrKind.ICALL)).sum() == 0
+    # Direct calls took their place; the return count is unchanged.
+    assert (kinds == int(InstrKind.CALL)).sum() > 0
+    assert (kinds == int(InstrKind.CALL)).sum() == \
+        (kinds == int(InstrKind.RET)).sum()

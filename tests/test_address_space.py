@@ -1,0 +1,107 @@
+"""Simulated address space and the CPython-style freelist allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.host.address_space import (
+    AddressSpace,
+    FreelistAllocator,
+    Region,
+    align,
+)
+
+
+def test_align():
+    assert align(1) == 16
+    assert align(16) == 16
+    assert align(17) == 32
+    assert align(100, 64) == 128
+
+
+def test_region_bump_and_reset():
+    region = Region("r", base=0x1000, size=256)
+    first = region.bump(16)
+    second = region.bump(16)
+    assert first == 0x1000
+    assert second == 0x1010
+    assert region.used == 32
+    region.reset()
+    assert region.bump(16) == 0x1000
+
+
+def test_region_exhaustion():
+    region = Region("r", base=0, size=64)
+    region.bump(48)
+    with pytest.raises(AllocationError):
+        region.bump(32)
+
+
+def test_region_contains():
+    region = Region("r", base=0x100, size=0x100)
+    assert region.contains(0x100)
+    assert region.contains(0x1FF)
+    assert not region.contains(0x200)
+    assert not region.contains(0xFF)
+
+
+def test_address_space_regions_disjoint():
+    space = AddressSpace(nursery_size=1 << 20)
+    regions = [space.code, space.vm_data, space.jit_code, space.heap,
+               space.nursery, space.old, space.c_lib]
+    spans = sorted((r.base, r.end) for r in regions)
+    for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+        assert prev_end <= next_base
+
+
+def test_region_of():
+    space = AddressSpace()
+    assert space.region_of(space.heap.base + 64) is space.heap
+    assert space.region_of(space.nursery.base) is space.nursery
+    assert space.region_of(0x7FFF_0000) is None  # C stack
+
+
+def test_freelist_reuses_lifo():
+    space = AddressSpace()
+    allocator = FreelistAllocator(space.heap)
+    a = allocator.alloc(32)
+    b = allocator.alloc(32)
+    allocator.free(a, 32)
+    allocator.free(b, 32)
+    # LIFO: the most recently freed block comes back first.
+    assert allocator.alloc(32) == b
+    assert allocator.alloc(32) == a
+    assert allocator.reuse_count == 2
+
+
+def test_freelist_size_classes_are_separate():
+    allocator = FreelistAllocator(AddressSpace().heap)
+    small = allocator.alloc(16)
+    allocator.free(small, 16)
+    big = allocator.alloc(256)
+    assert big != small
+
+
+def test_freelist_large_objects_bump():
+    allocator = FreelistAllocator(AddressSpace().heap)
+    a = allocator.alloc(10_000)
+    allocator.free(a, 10_000)
+    b = allocator.alloc(10_000)
+    assert b != a  # no freelist for very large blocks
+
+
+@given(st.lists(st.integers(min_value=1, max_value=512), min_size=1,
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_freelist_alloc_addresses_are_aligned_and_disjoint(sizes):
+    allocator = FreelistAllocator(AddressSpace().heap)
+    live = {}
+    for size in sizes:
+        addr = allocator.alloc(size)
+        assert addr % 16 == 0
+        # A live block must never be handed out twice.
+        assert addr not in live
+        live[addr] = size
+    for addr, size in live.items():
+        allocator.free(addr, size)

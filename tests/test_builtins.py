@@ -1,0 +1,177 @@
+"""Builtins and modeled C library modules: semantics and accounting."""
+
+import pytest
+
+from conftest import guest_output, run_source
+from repro.categories import OverheadCategory as C
+from repro.errors import GuestTypeError, GuestValueError
+
+
+def test_serializer_roundtrip_mixed():
+    out = guest_output("""
+data = {}
+data["n"] = 42
+data["f"] = 2.5
+data["s"] = "text"
+data["l"] = [1, (2, 3), None, True]
+blob = pickle.dumps(data)
+back = pickle.loads(blob)
+print(back["n"])
+print(back["f"])
+print(back["s"])
+print(back["l"])
+print(len(blob) > 10)
+""")
+    assert out == ["42", "2.5", "text", "[1, (2, 3), None, True]", "True"]
+
+
+def test_json_matches_pickle_format():
+    out = guest_output("""
+value = [1, "two", 3.0]
+print(pickle.dumps(value) == json.dumps(value))
+print(json.loads(json.dumps(value)))
+""")
+    assert out == ["True", "[1, 'two', 3.0]"]
+
+
+def test_pickle_rejects_unserializable():
+    with pytest.raises(GuestTypeError):
+        run_source("""
+class X:
+    def __init__(self):
+        self.a = 1
+blob = pickle.dumps(X())
+""")
+
+
+def test_pickle_loads_rejects_corrupt_data():
+    with pytest.raises(GuestValueError):
+        run_source("x = pickle.loads('i12')\n")  # missing terminator
+
+
+def test_regex_search_and_findall():
+    out = guest_output("""
+m = re.search("b+", "aabbbcc")
+print(m)
+print(re.search("z", "abc") is None)
+print(re.findall("[0-9]+", "a1b22c333"))
+print(re.match("ab", "abc"))
+print(re.match("bc", "abc") is None)
+""")
+    assert out == ["bbb", "True", "['1', '22', '333']", "ab", "True"]
+
+
+def test_regex_bad_pattern():
+    with pytest.raises(GuestValueError):
+        run_source("m = re.search('[unclosed', 'text')\n")
+
+
+def test_math_functions():
+    out = guest_output("""
+print(int(math.sqrt(2.0) * 1000))
+print(int(math.sin(0.0)))
+print(int(math.cos(0.0)))
+print(int(math.exp(1.0) * 100))
+print(int(math.log(math.exp(3.0))))
+print(int(math.atan2(1.0, 1.0) * 4000))
+""")
+    assert out == ["1414", "0", "1", "271", "3", "3141"]
+
+
+def test_math_domain_error():
+    with pytest.raises(GuestValueError):
+        run_source("x = math.sqrt(-1.0)\n")
+
+
+def test_rnd_determinism():
+    source = """
+rnd.seed(99)
+a = rnd.randint(0, 1000)
+b = rnd.randint(0, 1000)
+rnd.seed(99)
+c = rnd.randint(0, 1000)
+print(a == c)
+print(a != b)
+x = rnd.random()
+print(x >= 0.0 and x < 1.0)
+"""
+    assert guest_output(source) == ["True", "True", "True"]
+
+
+def test_rnd_matches_native_shim():
+    from repro.workloads.native import RndShim
+    shim = RndShim()
+    shim.seed(7)
+    expected = [shim.randint(0, 99) for _ in range(5)]
+    out = guest_output("""
+rnd.seed(7)
+vals = []
+for i in range(5):
+    vals.append(rnd.randint(0, 99))
+print(vals)
+""")
+    assert out == [str(expected)]
+
+
+def test_clib_time_is_attributed():
+    vm, machine = run_source("""
+payload = list(range(200))
+for rep in range(5):
+    blob = pickle.dumps(payload)
+print(len(blob))
+""")
+    counts = machine.trace.category_counts()
+    assert counts[int(C.C_LIBRARY)] > counts.sum() * 0.3
+
+
+def test_sorted_and_sort_agree():
+    out = guest_output("""
+a = [5, 3, 9, 1]
+b = sorted(a)
+a.sort()
+print(a == b)
+print(b)
+""")
+    assert out == ["True", "[1, 3, 5, 9]"]
+
+
+def test_min_max_two_arg_forms():
+    assert guest_output("print(min(2, 9))\nprint(max(2, 9))\n") \
+        == ["2", "9"]
+
+
+def test_sum_floats():
+    assert guest_output("print(sum([0.5, 0.25, 0.25]))\n") == ["1.0"]
+
+
+def test_list_conversion_sources():
+    out = guest_output("""
+print(list("abc"))
+print(list((1, 2)))
+print(tuple([3, 4]))
+d = {}
+d["k"] = 1
+print(list(d))
+""")
+    assert out == ["['a', 'b', 'c']", "[1, 2]", "(3, 4)", "['k']"]
+
+
+def test_builtin_arity_errors():
+    with pytest.raises(GuestTypeError):
+        run_source("x = len()\n")
+    with pytest.raises(GuestTypeError):
+        run_source("x = abs(1, 2)\n")
+    with pytest.raises(GuestTypeError):
+        run_source("x = ord('too long')\n")
+
+
+def test_dict_methods_return_fresh_lists():
+    out = guest_output("""
+d = {}
+d["a"] = 1
+keys = d.keys()
+keys.append("z")
+print(len(d))
+print(len(keys))
+""")
+    assert out == ["1", "2"]

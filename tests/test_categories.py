@@ -1,0 +1,64 @@
+"""Table II taxonomy invariants."""
+
+from repro.categories import (
+    CATEGORY_INFO,
+    INTERPRETER_CATEGORIES,
+    LANGUAGE_FEATURE_CATEGORIES,
+    NEW_CATEGORIES,
+    OVERHEAD_CATEGORIES,
+    Group,
+    OverheadCategory,
+    group_of,
+    is_overhead,
+    label_of,
+)
+
+
+def test_every_category_has_info():
+    for category in OverheadCategory:
+        assert category in CATEGORY_INFO
+        info = CATEGORY_INFO[category]
+        assert info.label
+        assert info.description
+
+
+def test_table2_has_fourteen_overhead_categories():
+    assert len(OVERHEAD_CATEGORIES) == 14
+
+
+def test_three_new_categories():
+    # Table II marks error check, reg transfer, and C function call NEW.
+    assert set(NEW_CATEGORIES) == {
+        OverheadCategory.ERROR_CHECK,
+        OverheadCategory.REG_TRANSFER,
+        OverheadCategory.C_FUNCTION_CALL,
+    }
+
+
+def test_groups_partition_overheads():
+    assert set(LANGUAGE_FEATURE_CATEGORIES) | set(INTERPRETER_CATEGORIES) \
+        == set(OVERHEAD_CATEGORIES)
+    assert not set(LANGUAGE_FEATURE_CATEGORIES) \
+        & set(INTERPRETER_CATEGORIES)
+
+
+def test_execute_is_not_overhead():
+    assert not is_overhead(OverheadCategory.EXECUTE)
+    assert not is_overhead(OverheadCategory.C_LIBRARY)
+    assert is_overhead(OverheadCategory.DISPATCH)
+
+
+def test_group_of_and_labels():
+    assert group_of(OverheadCategory.DISPATCH) is Group.INTERPRETER
+    assert group_of(OverheadCategory.TYPE_CHECK) is Group.DYNAMIC_LANGUAGE
+    assert group_of(OverheadCategory.ERROR_CHECK) is \
+        Group.ADDITIONAL_LANGUAGE
+    assert label_of(OverheadCategory.C_FUNCTION_CALL) == "C function call"
+
+
+def test_category_values_are_stable():
+    # Trace files persist these integers; renumbering would corrupt them.
+    assert int(OverheadCategory.EXECUTE) == 0
+    assert int(OverheadCategory.C_LIBRARY) == 1
+    assert int(OverheadCategory.C_FUNCTION_CALL) == 15
+    assert int(OverheadCategory.UNRESOLVED) == 16

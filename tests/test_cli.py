@@ -1,0 +1,62 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_run_builtin_workload(capsys):
+    assert main(["run", "sym_sum"]) == 0
+    captured = capsys.readouterr()
+    assert "8 -7" in captured.out
+    assert "bytecodes" in captured.err
+
+
+def test_run_source_file(tmp_path, capsys):
+    path = tmp_path / "prog.py"
+    path.write_text("print(6 * 7)\n")
+    assert main(["run", str(path)]) == 0
+    assert "42" in capsys.readouterr().out
+
+
+def test_run_on_pypy_without_jit(capsys):
+    assert main(["run", "sym_sum", "--runtime", "pypy", "--no-jit"]) == 0
+    assert "8 -7" in capsys.readouterr().out
+
+
+def test_breakdown_command(capsys):
+    assert main(["breakdown", "nqueens"]) == 0
+    out = capsys.readouterr().out
+    assert "Dispatch" in out
+    assert "C function call" in out
+    assert "identified overhead" in out
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "fannkuch" in out
+    assert "richards" in out
+    assert "splay" in out  # JS suite
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "table1"]) == 0
+    assert "2 MB" in capsys.readouterr().out
+
+
+def test_figure_unknown(capsys):
+    assert main(["figure", "fig99"]) == 1
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_compile_error_is_reported(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text("x = [i for i in range(3)]\n")
+    assert main(["run", str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

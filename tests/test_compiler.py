@@ -1,0 +1,220 @@
+"""MiniPy compiler: code generation and rejection of unsupported forms."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.frontend import compile_source, disassemble
+from repro.frontend.bytecode import Op
+
+
+def ops_of(code):
+    return [Op(v) for v in code.ops]
+
+
+def test_module_constants_are_interned():
+    program = compile_source("x = 1\ny = 1\nz = 2\n")
+    assert program.module.consts.count(1) == 1
+
+
+def test_const_interning_distinguishes_types():
+    program = compile_source("a = 1\nb = 1.0\nc = True\n")
+    consts = program.module.consts
+    assert 1 in consts and 1.0 in consts and True in consts
+    # int 1, float 1.0, and True are all distinct pool entries.
+    assert len([c for c in consts if c == 1]) == 3
+
+
+def test_function_compilation():
+    program = compile_source("""
+def add(a, b):
+    return a + b
+""")
+    code = program.functions["add"]
+    assert code.argcount == 2
+    assert code.varnames[:2] == ["a", "b"]
+    assert Op.BINARY_ADD in ops_of(code)
+    assert ops_of(code)[-1] == Op.RETURN_VALUE
+
+
+def test_locals_vs_globals():
+    program = compile_source("""
+g = 5
+
+def f(x):
+    y = x + g
+    return y
+""")
+    code = program.functions["f"]
+    kinds = ops_of(code)
+    assert Op.LOAD_FAST in kinds
+    assert Op.LOAD_GLOBAL in kinds
+    assert Op.STORE_FAST in kinds
+
+
+def test_global_declaration():
+    program = compile_source("""
+counter = 0
+
+def bump():
+    global counter
+    counter = counter + 1
+""")
+    code = program.functions["bump"]
+    assert Op.STORE_GLOBAL in ops_of(code)
+    assert Op.STORE_FAST not in ops_of(code)
+
+
+def test_while_loop_shape():
+    program = compile_source("""
+i = 0
+while i < 3:
+    i = i + 1
+""")
+    kinds = ops_of(program.module)
+    assert Op.SETUP_LOOP in kinds
+    assert Op.POP_JUMP_IF_FALSE in kinds
+    assert Op.POP_BLOCK in kinds
+
+
+def test_for_loop_shape():
+    program = compile_source("""
+total = 0
+for i in range(5):
+    total = total + i
+""")
+    kinds = ops_of(program.module)
+    assert Op.GET_ITER in kinds
+    assert Op.FOR_ITER in kinds
+
+
+def test_break_and_continue():
+    program = compile_source("""
+for i in range(10):
+    if i == 2:
+        continue
+    if i == 5:
+        break
+""")
+    kinds = ops_of(program.module)
+    assert Op.BREAK_LOOP in kinds
+    assert kinds.count(Op.JUMP_ABSOLUTE) >= 2
+
+
+def test_class_compilation():
+    program = compile_source("""
+class Point:
+    def __init__(self, x):
+        self.x = x
+
+    def get(self):
+        return self.x
+""")
+    spec = program.classes["Point"]
+    assert set(spec.methods) == {"__init__", "get"}
+    assert spec.methods["get"].argcount == 1
+    assert Op.LOAD_ATTR in ops_of(spec.methods["get"])
+    assert Op.STORE_ATTR in ops_of(spec.methods["__init__"])
+
+
+def test_method_call_uses_load_method():
+    program = compile_source("x = [1]\nx.append(2)\n")
+    kinds = ops_of(program.module)
+    assert Op.LOAD_METHOD in kinds
+    assert Op.CALL_METHOD in kinds
+
+
+def test_slice_compilation():
+    program = compile_source("s = 'hello'\nt = s[1:3]\nu = s[:2]\n")
+    kinds = ops_of(program.module)
+    assert kinds.count(Op.BUILD_SLICE) == 2
+
+
+def test_tuple_unpack():
+    program = compile_source("a, b = (1, 2)\n")
+    assert Op.UNPACK_SEQUENCE in ops_of(program.module)
+
+
+def test_bool_ops_short_circuit():
+    program = compile_source("x = 1\ny = x > 0 and x < 5 or x == 9\n")
+    kinds = ops_of(program.module)
+    assert Op.JUMP_IF_FALSE_OR_POP in kinds
+    assert Op.JUMP_IF_TRUE_OR_POP in kinds
+
+
+def test_ternary():
+    program = compile_source("x = 1 if True else 2\n")
+    assert Op.POP_JUMP_IF_FALSE in ops_of(program.module)
+
+
+def test_augassign():
+    program = compile_source("x = 1\nx += 2\n")
+    assert Op.BINARY_ADD in ops_of(program.module)
+
+
+def test_docstrings_are_skipped():
+    program = compile_source('''
+def f():
+    """docstring"""
+    return 1
+''')
+    assert Op.LOAD_CONST in ops_of(program.functions["f"])
+    assert "docstring" not in program.functions["f"].consts
+
+
+@pytest.mark.parametrize("source, fragment", [
+    ("def f(*args):\n    pass\n", "positional"),
+    ("def f(x=1):\n    pass\n", "positional"),
+    ("f = lambda: 1\n", "unsupported expression"),
+    ("a = [x for x in range(3)]\n", "unsupported expression"),
+    ("a = 1 < 2 < 3\n", "chained"),
+    ("try:\n    pass\nexcept Exception:\n    pass\n", "unsupported"),
+    ("def outer():\n    def inner():\n        pass\n", "nested"),
+    ("class A(object):\n    pass\n", "inheritance"),
+    ("x = {**{}}\n", "unpacking"),
+    ("while True:\n    pass\nelse:\n    pass\n", "while-else"),
+    ("x = 'a' 'b'[::2]\n", "step"),
+])
+def test_unsupported_constructs_raise(source, fragment):
+    with pytest.raises(CompileError) as err:
+        compile_source(source)
+    assert fragment in str(err.value)
+
+
+def test_syntax_error_wrapped():
+    with pytest.raises(CompileError):
+        compile_source("def (:\n")
+
+
+def test_disassemble_is_readable():
+    program = compile_source("""
+def f(x):
+    if x > 1:
+        return x * 2
+    return 0
+""")
+    text = disassemble(program.functions["f"])
+    assert "LOAD_FAST" in text
+    assert "COMPARE_OP" in text
+    assert "(>)" in text
+
+
+def test_jump_targets_in_range():
+    from repro.frontend.bytecode import JUMP_OPS
+    program = compile_source("""
+def f(n):
+    total = 0
+    for i in range(n):
+        if i % 2 == 0:
+            total = total + i
+        else:
+            total = total - 1
+    while total > 10:
+        total = total // 2
+        if total == 13:
+            break
+    return total
+""")
+    for code in program.code_objects():
+        for op_value, arg in zip(code.ops, code.args):
+            if Op(op_value) in JUMP_OPS:
+                assert 0 <= arg <= len(code)

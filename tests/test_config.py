@@ -1,0 +1,138 @@
+"""Machine/runtime configuration validation and sweep helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    KB,
+    MB,
+    BranchPredictorConfig,
+    CacheConfig,
+    GCConfig,
+    JITConfig,
+    MemoryConfig,
+    RuntimeConfig,
+    cpython_runtime,
+    pypy_runtime,
+    scaled_config,
+    skylake_config,
+    v8_runtime,
+)
+from repro.errors import ConfigError
+
+
+def test_table1_defaults():
+    config = skylake_config()
+    assert config.core.issue_width == 4
+    assert config.core.rob_entries == 224
+    assert config.l1d.size == 64 * KB
+    assert config.l2.size == 256 * KB
+    assert config.l3.size == 2 * MB
+    assert config.memory.latency == 173
+    assert config.branch.l1_entries == 2048
+    assert config.branch.l2_entries == 16384
+
+
+def test_cache_config_validation():
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", size=0, ways=4)
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", size=64 * KB, ways=4, line_size=48)
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", size=64 * KB, ways=4, latency=0)
+
+
+def test_cache_num_sets():
+    cache = CacheConfig("c", size=64 * KB, ways=8, line_size=64)
+    assert cache.num_sets == 128
+
+
+def test_llc_resize_preserves_validity():
+    for size in (256 * KB, 512 * KB, 1 * MB, 4 * MB, 16 * MB):
+        config = skylake_config().with_llc_size(size)
+        assert config.l3.size == size
+        assert config.l3.num_sets > 0
+
+
+def test_line_size_sweep_configs():
+    for line in (64, 128, 256, 512, 1024, 2048, 4096):
+        config = skylake_config().with_line_size(line)
+        for cache in (config.l1i, config.l1d, config.l2, config.l3):
+            assert cache.line_size == line
+
+
+def test_issue_width_and_memory_helpers():
+    config = skylake_config().with_issue_width(32)
+    assert config.core.issue_width == 32
+    assert config.core.rob_entries >= 32
+    assert skylake_config().with_memory_latency(50).memory.latency == 50
+    assert skylake_config().with_memory_bandwidth(200) \
+        .memory.bandwidth_mbps == 200
+
+
+def test_branch_scale():
+    config = skylake_config().with_branch_scale(0.5)
+    assert config.branch.scaled_l1_entries == 1024
+    assert config.branch.scaled_l2_entries == 8192
+    big = skylake_config().with_branch_scale(8.0)
+    assert big.branch.scaled_l2_entries == 131072
+
+
+def test_branch_config_validation():
+    with pytest.raises(ConfigError):
+        BranchPredictorConfig(history_bits=0)
+    with pytest.raises(ConfigError):
+        BranchPredictorConfig(scale=-1.0)
+
+
+def test_memory_bytes_per_cycle():
+    memory = MemoryConfig(bandwidth_mbps=19200, frequency_ghz=3.4)
+    assert 5.0 < memory.bytes_per_cycle < 6.0
+
+
+def test_scaled_config_ratios():
+    base = skylake_config()
+    scaled = scaled_config(3)
+    assert scaled.l3.size == base.l3.size // 8
+    assert scaled.l2.size == base.l2.size // 8
+    assert scaled.l1d.size == base.l1d.size // 8
+    with pytest.raises(ConfigError):
+        scaled_config(9)
+
+
+def test_runtime_configs():
+    assert cpython_runtime().kind == "cpython"
+    assert not cpython_runtime().uses_jit
+    assert pypy_runtime(jit=True).uses_jit
+    assert not pypy_runtime(jit=False).uses_jit
+    assert v8_runtime().uses_jit
+    with pytest.raises(ConfigError):
+        RuntimeConfig(kind="jython")
+
+
+def test_gc_config_validation():
+    with pytest.raises(ConfigError):
+        GCConfig(nursery_size=1024)
+    with pytest.raises(ConfigError):
+        GCConfig(major_growth_factor=0.5)
+
+
+def test_jit_config_validation():
+    with pytest.raises(ConfigError):
+        JITConfig(hot_loop_threshold=0)
+    with pytest.raises(ConfigError):
+        JITConfig(trace_limit=4)
+
+
+def test_with_nursery_returns_new_config():
+    base = pypy_runtime(nursery_size=1 * MB)
+    resized = base.with_nursery(4 * MB)
+    assert resized.gc.nursery_size == 4 * MB
+    assert base.gc.nursery_size == 1 * MB
+
+
+def test_configs_are_frozen():
+    config = skylake_config()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.core = None  # type: ignore[misc]

@@ -1,0 +1,57 @@
+"""The example scripts must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "CPython model" in out
+    assert "PyPy model (JIT)" in out
+    assert "JIT speedup" in out
+    assert "C function call" in out
+
+
+def test_nursery_tuning():
+    out = run_example("nursery_tuning.py", "tuple_gc")
+    assert "recommended nursery" in out
+    assert "GC share" in out
+
+
+def test_interpreter_anatomy():
+    out = run_example("interpreter_anatomy.py")
+    assert "compiled guest bytecode" in out
+    assert "hottest static instructions" in out
+    assert "cache sensitivity" in out
+
+
+def test_regenerate_figures_listing():
+    out = run_example("regenerate_figures.py")
+    assert "fig10" in out
+    assert "table1" in out
+
+
+def test_regenerate_figures_single():
+    out = run_example("regenerate_figures.py", "table2")
+    assert "C function call" in out
+
+
+def test_regenerate_figures_rejects_unknown():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "regenerate_figures.py"),
+         "fig99"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 1

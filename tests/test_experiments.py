@@ -1,0 +1,140 @@
+"""Experiment runner and figure harnesses (tiny configurations)."""
+
+import pytest
+
+from repro.analysis.nursery import (
+    best_nursery_improvement,
+    normalized,
+    nursery_sweep,
+    paper_equivalent_label,
+)
+from repro.analysis.report import format_percent, render_series, render_table
+from repro.analysis.sweeps import SWEEP_AXES, axis_config, quick_axes
+from repro.config import scaled_config, skylake_config
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments import figures
+
+
+def test_runner_caches_traces():
+    runner = ExperimentRunner(scale=1)
+    first = runner.run("sym_sum", runtime="cpython")
+    second = runner.run("sym_sum", runtime="cpython")
+    assert first is second
+
+
+def test_runner_distinguishes_runtime_params():
+    runner = ExperimentRunner(scale=1)
+    interp = runner.run("sym_sum", runtime="pypy", jit=False)
+    jit = runner.run("sym_sum", runtime="pypy", jit=True)
+    assert interp is not jit
+    assert len(jit.trace) < len(interp.trace)
+
+
+def test_runner_rejects_unknown_runtime():
+    runner = ExperimentRunner()
+    with pytest.raises(ExperimentError):
+        runner.run("sym_sum", runtime="jython")
+
+
+def test_memory_side_reuse():
+    runner = ExperimentRunner(scale=1)
+    handle = runner.run("sym_sum", runtime="cpython")
+    config = skylake_config()
+    a = runner.memory_side(handle, config)
+    b = runner.memory_side(handle, config)
+    assert a is b
+    other = runner.memory_side(handle, config.with_llc_size(512 * 1024))
+    assert other is not a
+
+
+def test_simulate_cores():
+    runner = ExperimentRunner(scale=1)
+    handle = runner.run("sym_sum", runtime="cpython")
+    simple = runner.simulate(handle, skylake_config(), core="simple")
+    ooo = runner.simulate(handle, skylake_config(), core="ooo")
+    # The models charge different events (the OOO core pays branch
+    # mispredicts and load-to-use latency; the simple core only cache
+    # misses), so only sanity bounds are meaningful here.
+    assert simple.cycles > 0 and ooo.cycles > 0
+    assert 0.2 < ooo.cycles / simple.cycles < 5.0
+
+
+def test_axis_config_errors():
+    with pytest.raises(ExperimentError):
+        axis_config(skylake_config(), "voltage", 1.0)
+
+
+def test_quick_axes_trim():
+    axes = quick_axes()
+    assert set(axes) == set(SWEEP_AXES)
+    for axis, values in axes.items():
+        full = SWEEP_AXES[axis][0]
+        assert values[0] == full[0]
+        assert values[-1] == full[-1]
+        assert len(values) <= 3
+
+
+def test_nursery_sweep_points():
+    runner = ExperimentRunner(scale=1)
+    config = scaled_config(5)
+    points = nursery_sweep(runner, "tuple_gc", jit=False,
+                           ratios=(0.25, 1.0), config=config)
+    assert [p.ratio for p in points] == [0.25, 1.0]
+    assert points[0].minor_gcs >= points[1].minor_gcs
+    assert all(p.simple_cycles > 0 for p in points)
+    assert all(p.gc_cycles + p.nongc_cycles == p.simple_cycles
+               for p in points)
+
+
+def test_normalized_baseline():
+    runner = ExperimentRunner(scale=1)
+    points = nursery_sweep(runner, "sym_sum", jit=False,
+                           ratios=(0.25, 0.5, 1.0),
+                           config=scaled_config(5))
+    norm = normalized(points, baseline_ratio=0.5)
+    assert norm[1] == 1.0
+
+
+def test_best_nursery_improvement_summary():
+    runner = ExperimentRunner(scale=1)
+    sweeps = {
+        "tuple_gc": nursery_sweep(runner, "tuple_gc", jit=True,
+                                  ratios=(0.25, 0.5, 1.0),
+                                  config=scaled_config(5)),
+    }
+    summary = best_nursery_improvement(sweeps)
+    assert 0.0 <= summary["per_workload"]["tuple_gc"] <= 1.001
+    assert summary["best_improvement"] >= summary.get(
+        "max_nursery_improvement", -1.0) - 1e-9
+
+
+def test_paper_equivalent_labels():
+    assert paper_equivalent_label(0.25) == "512k"
+    assert paper_equivalent_label(0.5) == "1M"
+    assert paper_equivalent_label(1.0) == "2M"
+    assert paper_equivalent_label(64.0) == "128M"
+
+
+def test_report_rendering():
+    table = render_table(["a", "b"], [["x", 1], ["yy", 22]], title="T")
+    assert "T" in table and "yy" in table
+    series = render_series("S", ["1", "2"], {"s1": [0.5, 1.5]})
+    assert "s1" in series and "1.500" in series
+    assert format_percent(0.123) == "12.3%"
+
+
+def test_tables_render():
+    t1 = figures.table1()
+    assert "2 MB" in t1.rendered
+    assert "DDR4" in t1.rendered
+    t2 = figures.table2()
+    assert "C function call" in t2.rendered
+    assert "NEW" in t2.rendered
+
+
+def test_all_figures_registry():
+    assert set(figures.ALL_FIGURES) == {
+        "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17"}

@@ -1,0 +1,65 @@
+"""Whole-suite compilation invariants over all 85 benchmark sources."""
+
+import pytest
+
+from repro.frontend import compile_source, disassemble
+from repro.frontend.bytecode import JUMP_OPS, NAME_OPS, Op
+from repro.vm.v8.workloads import JS_SUITE, js_source
+from repro.workloads import PYTHON_SUITE, get_workload
+
+
+def _all_sources():
+    for name in PYTHON_SUITE:
+        yield name, get_workload(name).source(1)
+    for name in JS_SUITE:
+        yield f"js:{name}", js_source(name)
+
+
+ALL_SOURCES = list(_all_sources())
+
+
+@pytest.mark.parametrize("name, source", ALL_SOURCES,
+                         ids=[n for n, _ in ALL_SOURCES])
+def test_compiles_with_valid_structure(name, source):
+    program = compile_source(source, name)
+    for code in program.code_objects():
+        n = len(code)
+        assert n > 0
+        # Every code object ends with a return.
+        assert Op(code.ops[-1]) == Op.RETURN_VALUE
+        for op_value, arg in zip(code.ops, code.args):
+            op = Op(op_value)
+            if op in JUMP_OPS:
+                assert 0 <= arg <= n, (name, code.name, op, arg)
+            elif op in NAME_OPS:
+                assert 0 <= arg < len(code.names)
+            elif op is Op.LOAD_CONST:
+                assert 0 <= arg < len(code.consts)
+            elif op in (Op.LOAD_FAST, Op.STORE_FAST):
+                assert 0 <= arg < len(code.varnames)
+        # The disassembler must render every instruction.
+        listing = disassemble(code)
+        assert len(listing.splitlines()) == n + 1
+
+
+def test_suite_uses_every_major_opcode():
+    used = set()
+    for name, source in ALL_SOURCES:
+        program = compile_source(source, name)
+        for code in program.code_objects():
+            used.update(Op(v) for v in code.ops)
+    expected = {
+        Op.LOAD_CONST, Op.LOAD_FAST, Op.STORE_FAST, Op.LOAD_GLOBAL,
+        Op.STORE_GLOBAL, Op.BINARY_ADD, Op.BINARY_SUB, Op.BINARY_MUL,
+        Op.BINARY_TRUEDIV, Op.BINARY_FLOORDIV, Op.BINARY_MOD,
+        Op.BINARY_AND, Op.BINARY_OR, Op.BINARY_XOR, Op.BINARY_LSHIFT,
+        Op.BINARY_RSHIFT, Op.UNARY_NEG, Op.UNARY_NOT, Op.COMPARE_OP,
+        Op.JUMP_ABSOLUTE, Op.POP_JUMP_IF_FALSE, Op.SETUP_LOOP,
+        Op.POP_BLOCK, Op.BREAK_LOOP, Op.GET_ITER, Op.FOR_ITER,
+        Op.CALL_FUNCTION, Op.RETURN_VALUE, Op.LOAD_METHOD,
+        Op.CALL_METHOD, Op.BUILD_LIST, Op.BUILD_TUPLE, Op.BUILD_MAP,
+        Op.BINARY_SUBSCR, Op.STORE_SUBSCR, Op.BUILD_SLICE,
+        Op.UNPACK_SEQUENCE, Op.LOAD_ATTR, Op.STORE_ATTR,
+    }
+    missing = expected - used
+    assert not missing, f"suite never exercises: {missing}"

@@ -1,0 +1,55 @@
+"""Host ISA tables and the DRAM model."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.host.isa import (
+    CONTROL_KINDS,
+    KIND_LATENCY,
+    MEMORY_KINDS,
+    InstrKind,
+)
+from repro.uarch.dram import DramModel
+
+
+def test_every_kind_has_latency():
+    for kind in InstrKind:
+        assert kind in KIND_LATENCY
+        assert KIND_LATENCY[kind] >= 1
+
+
+def test_kind_classifications():
+    assert InstrKind.LOAD in MEMORY_KINDS
+    assert InstrKind.STORE in MEMORY_KINDS
+    assert InstrKind.ALU not in MEMORY_KINDS
+    assert InstrKind.BRANCH in CONTROL_KINDS
+    assert InstrKind.ICALL in CONTROL_KINDS
+    assert InstrKind.DIV not in CONTROL_KINDS
+
+
+def test_div_is_long_latency():
+    assert KIND_LATENCY[InstrKind.DIV] > KIND_LATENCY[InstrKind.MUL] \
+        > KIND_LATENCY[InstrKind.ALU]
+
+
+def test_dram_latency_and_transfer():
+    dram = DramModel(MemoryConfig(latency=173, bandwidth_mbps=19200))
+    assert dram.latency == 173
+    # One 64-byte line at ~5.6 B/cycle takes ~11 cycles of bus time.
+    assert 10 < dram.line_transfer_cycles() < 13
+
+
+def test_dram_bandwidth_accounting():
+    dram = DramModel(MemoryConfig(bandwidth_mbps=200), line_size=64)
+    # 200 MBps at 3.4 GHz is ~0.059 B/cycle: lines queue immediately.
+    for _ in range(100):
+        dram.record_access()
+    assert dram.bytes_transferred == 6400
+    assert dram.earliest_start(0.0) > 100_000
+
+
+def test_dram_idle_bus_does_not_delay():
+    dram = DramModel(MemoryConfig())
+    dram.record_access()
+    later = dram.earliest_start(1_000_000.0)
+    assert later == pytest.approx(1_000_000.0)

@@ -1,0 +1,204 @@
+"""Tracing JIT: hot detection, compilation, replay, deoptimization."""
+
+import dataclasses
+
+from repro.config import pypy_runtime
+from repro.frontend import compile_source
+from repro.host import AddressSpace, HostMachine
+from repro.vm.pypy import PyPyVM
+
+HOT_LOOP = """
+total = 0
+for i in range(500):
+    total = total + i * 2
+print(total)
+"""
+
+
+def run_jit(source, nursery=1 << 20, **jit_overrides):
+    program = compile_source(source, "<jit-test>")
+    machine = HostMachine(AddressSpace(nursery_size=nursery),
+                          max_instructions=40_000_000)
+    config = pypy_runtime(jit=True, nursery_size=nursery)
+    if jit_overrides:
+        config = dataclasses.replace(
+            config, jit=dataclasses.replace(config.jit, **jit_overrides))
+    vm = PyPyVM(machine, program, config)
+    vm.run()
+    return vm, machine
+
+
+def test_hot_loop_gets_compiled():
+    vm, _ = run_jit(HOT_LOOP)
+    assert vm.stats.traces_compiled >= 1
+    assert vm.output == [str(sum(i * 2 for i in range(500)))]
+
+
+def test_cold_code_is_not_compiled():
+    vm, _ = run_jit("total = 0\nfor i in range(5):\n"
+                    "    total = total + i\nprint(total)\n")
+    assert vm.stats.traces_compiled == 0
+
+
+def test_jit_reduces_instruction_count():
+    program_src = HOT_LOOP
+    jit_vm, jit_machine = run_jit(program_src)
+    program = compile_source(program_src, "<nojit>")
+    machine = HostMachine(AddressSpace(nursery_size=1 << 20))
+    nojit_vm = PyPyVM(machine, program, pypy_runtime(jit=False))
+    nojit_vm.run()
+    assert nojit_vm.output == jit_vm.output
+    assert len(jit_machine.trace) < len(machine.trace) / 2
+
+
+def test_compiled_code_uses_jit_region():
+    from repro.categories import OverheadCategory as C
+    vm, machine = run_jit(HOT_LOOP)
+    arrays = machine.trace.arrays()
+    compiled_mask = arrays["category"] == int(C.JIT_COMPILED_CODE)
+    assert compiled_mask.any()
+    pcs = arrays["pc"][compiled_mask]
+    jit_region = machine.space.jit_code
+    assert ((pcs >= jit_region.base) & (pcs < jit_region.end)).all()
+
+
+def test_compilation_cost_is_charged():
+    from repro.categories import OverheadCategory as C
+    vm, machine = run_jit(HOT_LOOP)
+    counts = machine.trace.category_counts()
+    assert counts[int(C.JIT_COMPILING)] > 0
+
+
+def test_loop_exit_deoptimizes_once():
+    vm, _ = run_jit(HOT_LOOP)
+    # The single loop exit diverges from the trace exactly once.
+    assert vm.stats.deopts == 1
+
+
+def test_repeated_guard_failures_get_bridged():
+    # A branch alternating inside a hot loop fails its guard every other
+    # iteration; after guard_bridge_threshold failures it becomes a
+    # cheap bridge, not a deopt.
+    source = """
+total = 0
+for i in range(600):
+    if i % 2 == 0:
+        total = total + 1
+    else:
+        total = total + 2
+print(total)
+"""
+    vm, _ = run_jit(source, guard_bridge_threshold=10)
+    assert vm.output == ["900"]
+    assert vm.stats.deopts <= 11
+
+
+def test_trace_limit_blacklists():
+    # A loop body exceeding the trace limit must abort recording and
+    # never compile.
+    body = "\n".join(f"    total = total + {i}" for i in range(80))
+    source = f"total = 0\nfor i in range(300):\n{body}\nprint(total)\n"
+    vm, _ = run_jit(source, trace_limit=64)
+    assert vm.stats.traces_compiled == 0
+    expected = sum(range(80)) * 300
+    assert vm.output == [str(expected)]
+
+
+def test_bridge_is_compiled_for_flapping_guard():
+    source = """
+total = 0
+for i in range(2000):
+    if i % 2 == 0:
+        total = total + 1
+    else:
+        total = total + 2
+print(total)
+"""
+    vm, machine = run_jit(source, guard_bridge_threshold=8)
+    assert vm.output == ["3000"]
+    assert vm.stats.bridges_compiled >= 1
+    # Once the bridge exists, deopts stop: both paths run compiled.
+    assert vm.stats.deopts <= 9
+    from repro.categories import OverheadCategory as C
+    counts = machine.trace.category_counts()
+    compiled_share = counts[int(C.JIT_COMPILED_CODE)] / counts.sum()
+    assert compiled_share > 0.5
+
+
+def test_bridge_rejoins_parent_loop():
+    # After the bridge's side path ends at the loop back-edge, execution
+    # must continue in the parent trace (no interpreter round-trips).
+    source = """
+total = 0
+for i in range(1500):
+    if i % 3 == 0:
+        total = total + i
+    else:
+        total = total - 1
+print(total)
+"""
+    vm, _ = run_jit(source, guard_bridge_threshold=5)
+    expected = sum(i if i % 3 == 0 else -1 for i in range(1500))
+    assert vm.output == [str(expected)]
+    assert vm.stats.bridges_compiled >= 1
+
+
+def test_hot_function_gets_traced():
+    source = """
+def work(x):
+    return x * 3 + 1
+
+total = 0
+i = 0
+while i < 300:
+    total = total + work(i)
+    i = i + 1
+print(total)
+"""
+    vm, _ = run_jit(source, hot_call_threshold=40)
+    assert vm.output == [str(sum(i * 3 + 1 for i in range(300)))]
+    assert vm.stats.traces_compiled >= 1
+
+
+def test_inlined_calls_replay_inside_trace():
+    source = """
+def helper(a, b):
+    return a * b + 1
+
+total = 0
+for i in range(400):
+    total = total + helper(i, 3)
+print(total)
+"""
+    vm, _ = run_jit(source)
+    assert vm.output == [str(sum(i * 3 + 1 for i in range(400)))]
+    assert vm.stats.traces_compiled >= 1
+    # Most bytecodes should have executed via the compiled trace.
+    assert vm.stats.deopts < 30
+
+
+def test_jit_preserves_gc_interaction():
+    source = """
+keep = []
+for i in range(1200):
+    keep.append((i, i * 2))
+    if len(keep) > 16:
+        keep.pop(0)
+total = 0
+for pair in keep:
+    a, b = pair
+    total = total + b
+print(total)
+"""
+    vm, _ = run_jit(source, nursery=64 * 1024)
+    expected = sum(2 * i for i in range(1184, 1200))
+    assert vm.output == [str(expected)]
+    assert vm.stats.minor_gcs > 0
+    assert vm.stats.traces_compiled >= 1
+
+
+def test_suppression_is_balanced_after_run():
+    vm, machine = run_jit(HOT_LOOP)
+    assert machine.suppressed is False
+    assert machine.clib_depth == 0
+    assert machine.c_call_depth == 0

@@ -1,0 +1,38 @@
+"""The 37 JetStream-analog workloads on the V8-analog runtime."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.frontend import compile_source
+from repro.vm.v8 import run_v8
+from repro.vm.v8.workloads import JS_SUITE, js_source
+from repro.workloads.native import run_native
+
+
+def test_suite_has_37_benchmarks():
+    assert len(JS_SUITE) == 37
+    assert len(set(JS_SUITE)) == 37
+
+
+def test_unknown_name_raises():
+    with pytest.raises(WorkloadError):
+        js_source("bitcoin-miner")
+
+
+@pytest.mark.parametrize("name", JS_SUITE)
+def test_matches_native_on_v8_model(name):
+    source = js_source(name)
+    expected = run_native(source)
+    assert expected, f"{name} produced no output natively"
+    program = compile_source(source, name)
+    vm, _ = run_v8(program, max_instructions=30_000_000)
+    assert vm.output == expected
+
+
+def test_v8_compiles_hot_code():
+    compiled = 0
+    for name in ("crypto", "splay", "quicksort.c", "hash-map"):
+        program = compile_source(js_source(name), name)
+        vm, _ = run_v8(program, max_instructions=30_000_000)
+        compiled += vm.stats.traces_compiled
+    assert compiled >= 4

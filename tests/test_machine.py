@@ -1,0 +1,138 @@
+"""HostMachine: sites, emission, C calling convention, scopes."""
+
+import pytest
+
+from repro.categories import OverheadCategory as C
+from repro.errors import VMError
+from repro.host import AddressSpace, HostMachine
+from repro.host.isa import FLAG_INDIRECT, FLAG_TAKEN, InstrKind
+
+
+def machine():
+    return HostMachine(AddressSpace())
+
+
+def test_sites_are_stable_and_distinct():
+    m = machine()
+    a = m.site("ceval.dispatch")
+    b = m.site("ceval.stack")
+    assert a != b
+    assert m.site("ceval.dispatch") == a
+    assert m.site_table["ceval.dispatch"] == a
+
+
+def test_jit_sites_are_not_deduplicated():
+    m = machine()
+    a = m.jit_site("trace.1", 64)
+    b = m.jit_site("trace.1", 64)
+    assert b > a
+    assert m.space.jit_code.contains(a)
+
+
+def test_emission_kinds_and_categories():
+    m = machine()
+    site = m.site("x")
+    m.alu(site, int(C.DISPATCH), n=2)
+    m.load(site, int(C.STACK), addr=0x1000)
+    m.store(site, int(C.STACK), addr=0x1008)
+    m.branch(site, int(C.RICH_CONTROL_FLOW), taken=True)
+    arrays = m.trace.arrays()
+    assert arrays["kind"].tolist() == [
+        int(InstrKind.ALU), int(InstrKind.ALU), int(InstrKind.LOAD),
+        int(InstrKind.STORE), int(InstrKind.BRANCH)]
+    assert arrays["category"][0] == int(C.DISPATCH)
+    assert arrays["flags"][4] & FLAG_TAKEN
+
+
+def test_c_call_balances_stack_and_tags_category():
+    m = machine()
+    sp_before = m.sp
+    with m.c_call("caller", "callee", indirect=True, args=2, saves=2):
+        m.alu(m.site("callee.body"), int(C.EXECUTE))
+    assert m.sp == sp_before
+    assert m.c_call_depth == 0
+    arrays = m.trace.arrays()
+    categories = set(arrays["category"].tolist())
+    assert int(C.C_FUNCTION_CALL) in categories
+    assert int(C.EXECUTE) in categories
+    # Exactly one indirect call instruction.
+    icalls = (arrays["kind"] == int(InstrKind.ICALL)).sum()
+    assert icalls == 1
+    assert arrays["flags"][(arrays["kind"] ==
+                            int(InstrKind.ICALL)).argmax()] & FLAG_INDIRECT
+    # The call is paired with exactly one return.
+    assert (arrays["kind"] == int(InstrKind.RET)).sum() == 1
+
+
+def test_c_call_exit_without_enter():
+    m = machine()
+    with pytest.raises(VMError):
+        m.c_call_exit(0)
+
+
+def test_c_call_unwinds_on_exception():
+    m = machine()
+    with pytest.raises(RuntimeError):
+        with m.c_call("a", "b"):
+            raise RuntimeError("guest failure")
+    assert m.c_call_depth == 0
+
+
+def test_touch_range_granularity():
+    m = machine()
+    site = m.site("t")
+    m.touch_range(site, int(C.GARBAGE_COLLECTION), addr=0x1000,
+                  nbytes=256, write=True)
+    arrays = m.trace.arrays()
+    assert len(arrays["pc"]) == 4  # 256 bytes / 64-byte granularity
+    assert all(k == int(InstrKind.STORE) for k in arrays["kind"])
+    assert m.trace.column("addr").tolist() == [0x1000, 0x1040, 0x1080,
+                                               0x10C0]
+
+
+def test_touch_range_unaligned_covers_all_bytes():
+    m = machine()
+    m.touch_range(m.site("t"), 0, addr=0x103F, nbytes=2)
+    addrs = m.trace.column("addr").tolist()
+    assert addrs == [0x1000, 0x1040]
+
+
+def test_suppression():
+    m = machine()
+    site = m.site("x")
+    m.suppressed = True
+    m.alu(site, 0, n=5)
+    assert len(m.trace) == 0
+    with m.unsuppressed():
+        m.alu(site, 0, n=2)
+    assert len(m.trace) == 2
+    assert m.suppressed
+
+
+def test_clib_scope_retags_emissions():
+    m = machine()
+    site = m.site("x")
+    with m.clib_scope():
+        m.alu(site, int(C.OBJECT_ALLOCATION), n=1)
+        m.alu(site, int(C.GARBAGE_COLLECTION), n=1)
+    m.alu(site, int(C.OBJECT_ALLOCATION), n=1)
+    categories = m.trace.column("category").tolist()
+    # Allocation inside C library code counts as C library time; the
+    # collector keeps its own category; outside, normal tagging resumes.
+    assert categories == [int(C.C_LIBRARY), int(C.GARBAGE_COLLECTION),
+                          int(C.OBJECT_ALLOCATION)]
+
+
+def test_instruction_budget():
+    m = HostMachine(AddressSpace(), max_instructions=10)
+    site = m.site("x")
+    m.alu(site, 0, n=20)
+    with pytest.raises(VMError):
+        m.check_budget()
+
+
+def test_origin_recorded():
+    m = machine()
+    m.origin = 0xBEEF
+    m.alu(m.site("x"), 0)
+    assert m.trace.column("origin")[0] == 0xBEEF

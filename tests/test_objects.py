@@ -1,0 +1,111 @@
+"""Guest object model: sizes, hashing, traversal, rendering."""
+
+import pytest
+
+from repro.errors import GuestTypeError
+from repro.objects.model import (
+    FALSE,
+    NONE,
+    TRUE,
+    PyBool,
+    PyDict,
+    PyFloat,
+    PyInstance,
+    PyInt,
+    PyClass,
+    PyFunc,
+    PyList,
+    PyRange,
+    PyStr,
+    PyTuple,
+    gc_children,
+    guest_repr,
+    raw_key,
+)
+
+
+def test_sizes_scale_with_payload():
+    assert PyStr("").size_bytes() < PyStr("x" * 100).size_bytes()
+    assert PyTuple(()).size_bytes() < \
+        PyTuple((NONE, NONE, NONE)).size_bytes()
+    small = PyList([])
+    big = PyList([NONE] * 100)
+    assert big.buffer_bytes() > small.buffer_bytes()
+
+
+def test_dict_table_grows_with_slots():
+    d = PyDict()
+    base = d.table_bytes()
+    d.table_slots *= 4
+    assert d.table_bytes() == base * 4
+
+
+def test_truthiness():
+    assert PyInt(1).is_truthy() and not PyInt(0).is_truthy()
+    assert PyFloat(0.5).is_truthy() and not PyFloat(0.0).is_truthy()
+    assert PyStr("a").is_truthy() and not PyStr("").is_truthy()
+    assert PyList([NONE]).is_truthy() and not PyList([]).is_truthy()
+    assert not NONE.is_truthy()
+    assert TRUE.is_truthy() and not FALSE.is_truthy()
+    assert PyRange(0, 3).is_truthy() and not PyRange(3, 3).is_truthy()
+
+
+def test_range_len():
+    assert len(PyRange(0, 10)) == 10
+    assert len(PyRange(2, 10, 3)) == 3
+    assert len(PyRange(10, 0, -3)) == 4
+    assert len(PyRange(5, 5)) == 0
+
+
+def test_raw_key_identity_semantics():
+    assert raw_key(PyInt(5)) == 5
+    assert raw_key(PyStr("a")) == "a"
+    assert raw_key(TRUE) == 1  # bool/int key unification, like Python
+    assert raw_key(NONE) is None
+    assert raw_key(PyTuple((PyInt(1), PyStr("b")))) == (1, "b")
+
+
+def test_raw_key_unhashable():
+    with pytest.raises(GuestTypeError):
+        raw_key(PyList([]))
+    with pytest.raises(GuestTypeError):
+        raw_key(PyDict())
+
+
+def test_gc_children_coverage():
+    inner = PyInt(1)
+    lst = PyList([inner])
+    tup = PyTuple((lst,))
+    d = PyDict()
+    d.entries["k"] = (PyStr("k"), tup)
+    cls = PyClass("C", {"m": PyFunc(None)})
+    inst = PyInstance(cls)
+    inst.attrs["x"] = d
+    reachable = set()
+    queue = [inst]
+    while queue:
+        obj = queue.pop()
+        if id(obj) in reachable:
+            continue
+        reachable.add(id(obj))
+        queue.extend(gc_children(obj))
+    assert id(inner) in reachable
+    assert id(lst) in reachable
+    assert id(d) in reachable
+    assert id(cls) in reachable
+
+
+def test_guest_repr_matches_python():
+    lst = PyList([PyInt(1), PyStr("a"), PyBool(True), NONE])
+    assert guest_repr(lst) == "[1, 'a', True, None]"
+    tup = PyTuple((PyFloat(1.5),))
+    assert guest_repr(tup) == "(1.5)" or guest_repr(tup) == "(1.5,)"
+    d = PyDict()
+    d.entries[1] = (PyInt(1), PyStr("one"))
+    assert guest_repr(d) == "{1: 'one'}"
+
+
+def test_instance_type_name_is_class_name():
+    cls = PyClass("Widget", {})
+    inst = PyInstance(cls)
+    assert inst.type_name == "Widget"

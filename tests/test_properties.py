@@ -1,0 +1,158 @@
+"""Property-based tests: MiniPy semantics vs the host interpreter.
+
+Hypothesis generates arithmetic expressions, list programs, and data
+structures; the invariant everywhere is "the MiniPy VM computes exactly
+what CPython computes".
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import guest_output
+from repro.workloads.native import SerializerShim
+
+_INT = st.integers(min_value=-1000, max_value=1000)
+_SMALL_INT = st.integers(min_value=0, max_value=40)
+
+
+@st.composite
+def arithmetic_expression(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(_INT))
+    op = draw(st.sampled_from(["+", "-", "*", "//", "%", "|", "&", "^"]))
+    left = draw(arithmetic_expression(depth=depth + 1))
+    right = draw(arithmetic_expression(depth=depth + 1))
+    if op in ("//", "%"):
+        right = f"({right} * ({right}) + 1)"  # never zero
+    return f"({left} {op} {right})"
+
+
+@given(arithmetic_expression())
+@settings(max_examples=40, deadline=None)
+def test_integer_arithmetic_matches_python(expression):
+    expected = str(eval(expression))  # generated: ints and operators only
+    assert guest_output(f"print({expression})\n") == [expected]
+
+
+@given(st.lists(_INT, min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_list_operations_match_python(values):
+    literal = repr(values)
+    source = f"""
+a = {literal}
+a.sort()
+print(a)
+print(sum(a))
+print(min(a))
+print(max(a))
+a.reverse()
+print(a[0])
+"""
+    expected = [str(sorted(values)), str(sum(values)),
+                str(min(values)), str(max(values)),
+                str(sorted(values)[-1])]
+    assert guest_output(source) == expected
+
+
+@given(st.lists(_SMALL_INT, min_size=0, max_size=15), _SMALL_INT)
+@settings(max_examples=25, deadline=None)
+def test_membership_matches_python(values, needle):
+    source = f"print({needle} in {values!r})\n"
+    assert guest_output(source) == [str(needle in values)]
+
+
+@given(st.text(alphabet="abcxyz ", max_size=20),
+       st.text(alphabet="abcxyz", min_size=1, max_size=3))
+@settings(max_examples=25, deadline=None)
+def test_string_operations_match_python(text, needle):
+    source = f"""
+s = {text!r}
+print(len(s))
+print(s.count({needle!r}))
+print(s.find({needle!r}))
+print({needle!r} in s)
+print(s.replace({needle!r}, "_"))
+"""
+    expected = [str(len(text)), str(text.count(needle)),
+                str(text.find(needle)), str(needle in text),
+                text.replace(needle, "_")]
+    assert guest_output(source) == expected
+
+
+_JSONISH = st.recursive(
+    st.one_of(st.integers(-999, 999), st.booleans(), st.none(),
+              st.text(alphabet="abc123", max_size=6)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(alphabet="key", min_size=1, max_size=4),
+                        children, max_size=4)),
+    max_leaves=12)
+
+
+@given(_JSONISH)
+@settings(max_examples=40, deadline=None)
+def test_serializer_shim_roundtrip(value):
+    blob = SerializerShim.dumps(value)
+    assert SerializerShim.loads(blob) == value
+
+
+@given(st.lists(_INT, min_size=0, max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_guest_pickle_roundtrip_matches_shim(values):
+    literal = repr(values)
+    source = f"""
+payload = {literal}
+blob = pickle.dumps(payload)
+print(len(blob))
+print(pickle.loads(blob) == payload)
+"""
+    expected_blob = SerializerShim.dumps(values)
+    assert guest_output(source) == [str(len(expected_blob)), "True"]
+
+
+@given(st.lists(st.tuples(_SMALL_INT, _INT), min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_dict_semantics_match_python(pairs):
+    expected: dict = {}
+    lines = ["d = {}"]
+    for key, value in pairs:
+        expected[key] = value
+        lines.append(f"d[{key}] = {value}")
+    lines.append("print(len(d))")
+    lines.append("total = 0")
+    lines.append("for k in d.keys():")
+    lines.append("    total = total + d[k]")
+    lines.append("print(total)")
+    out = guest_output("\n".join(lines) + "\n")
+    assert out == [str(len(expected)), str(sum(expected.values()))]
+
+
+@given(st.integers(2, 30), st.integers(2, 8))
+@settings(max_examples=20, deadline=None)
+def test_loop_accumulation_matches_python(n, divisor):
+    source = f"""
+total = 0
+for i in range({n}):
+    if i % {divisor} == 0:
+        total = total + i
+    else:
+        total = total - 1
+print(total)
+"""
+    expected = sum(i if i % divisor == 0 else -1 for i in range(n))
+    assert guest_output(source) == [str(expected)]
+
+
+@given(st.lists(_INT, min_size=2, max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_pypy_jit_agrees_with_cpython_model(values):
+    source = f"""
+data = {values!r}
+total = 0
+for rounds in range(60):
+    for v in data:
+        total = total + v * 2 - 1
+print(total)
+"""
+    expected = guest_output(source, "cpython")
+    assert guest_output(source, "pypy", jit=True) == expected

@@ -1,0 +1,74 @@
+"""CPython-model memory management: refcounting and the freelist."""
+
+from conftest import run_source
+from repro.categories import OverheadCategory as C
+
+
+def test_freelist_reuse_dominates_steady_state():
+    # A loop that churns boxed ints should recycle freed boxes.
+    vm, machine = run_source("""
+total = 0
+for i in range(500):
+    x = i * 1000 + 7
+    total = total + x % 13
+print(total)
+""")
+    allocator = vm.allocator
+    assert allocator.free_count > 100
+    assert allocator.reuse_count > allocator.alloc_count * 0.3
+
+
+def test_heap_footprint_stays_bounded():
+    # With freelist recycling, the bump cursor must stay far below the
+    # total allocated volume.
+    vm, machine = run_source("""
+total = 0
+for i in range(800):
+    data = [i, i + 1, i + 2]
+    total = total + data[1]
+print(total)
+""")
+    heap_used = machine.space.heap.used
+    assert vm.stats.allocated_bytes > 3 * heap_used
+
+
+def test_container_teardown_releases_children():
+    vm, machine = run_source("""
+for i in range(50):
+    block = [i * 1000, i * 2000, i * 3000]
+print("done")
+""")
+    allocator = vm.allocator
+    # Each discarded list frees its boxes and its buffer.
+    assert allocator.free_count >= 150
+
+
+def test_small_ints_are_never_allocated():
+    vm_small, m_small = run_source(
+        "t = 0\nfor i in range(250):\n    t = t + 1\nprint(t)\n")
+    vm_large, m_large = run_source(
+        "t = 100000\nfor i in range(250):\n    t = t + 1\nprint(t)\n")
+    # Counting within the small-int cache allocates far less.
+    assert vm_small.stats.allocations < vm_large.stats.allocations / 2
+
+
+def test_refcount_work_is_attributed_to_gc_category():
+    vm, machine = run_source("x = [1, 2, 3]\ny = x\nprint(len(y))\n")
+    counts = machine.trace.category_counts()
+    assert counts[int(C.GARBAGE_COLLECTION)] > 0
+
+
+def test_no_double_free_corruption():
+    # Aliased containers going out of scope repeatedly must not break
+    # the allocator (sentinel guards double deallocation).
+    vm, machine = run_source("""
+a = [1, 2, 3]
+b = [a, a, a]
+c = [b, b]
+c = None
+b = None
+a = None
+x = [9] * 10
+print(len(x))
+""")
+    assert vm.output == ["10"]

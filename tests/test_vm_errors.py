@@ -1,0 +1,96 @@
+"""Guest-level error behavior: the right exception at the right moment."""
+
+import pytest
+
+from conftest import run_source
+from repro.errors import (
+    GuestIndexError,
+    GuestKeyError,
+    GuestNameError,
+    GuestTypeError,
+    GuestValueError,
+    GuestZeroDivisionError,
+    VMError,
+)
+
+
+@pytest.mark.parametrize("source, exc", [
+    ("x = 1 / 0\n", GuestZeroDivisionError),
+    ("x = 1 // 0\n", GuestZeroDivisionError),
+    ("x = 1 % 0\n", GuestZeroDivisionError),
+    ("x = 1.5 / 0.0\n", GuestZeroDivisionError),
+    ("x = undefined_name\n", GuestNameError),
+    ("a = [1, 2]\nx = a[5]\n", GuestIndexError),
+    ("a = [1, 2]\na[9] = 0\n", GuestIndexError),
+    ("s = 'ab'\nx = s[10]\n", GuestIndexError),
+    ("d = {}\nx = d['missing']\n", GuestKeyError),
+    ("x = 'a' + 1\n", GuestTypeError),
+    ("x = [1] - [2]\n", GuestTypeError),
+    ("x = -'abc'\n", GuestTypeError),
+    ("x = 5\nx.append(1)\n", GuestNameError),
+    ("x = 5\ny = x[0]\n", GuestTypeError),
+    ("for i in 5:\n    pass\n", GuestTypeError),
+    ("x = 1\nx(2)\n", GuestTypeError),
+    ("def f(a):\n    return a\nf(1, 2)\n", GuestTypeError),
+    ("a, b = (1, 2, 3)\n", GuestValueError),
+    ("x = int('not a number')\n", GuestValueError),
+    ("x = chr(-1)\n", GuestValueError),
+    ("x = [1].index(9)\n", GuestValueError),
+    ("d = {}\nd[[1, 2]] = 3\n", GuestTypeError),
+    ("x = len(5)\n", GuestTypeError),
+    ("x = range(1, 2, 0)\n", GuestValueError),
+])
+def test_guest_errors(source, exc):
+    with pytest.raises(exc):
+        run_source(source)
+
+
+def test_local_before_assignment():
+    source = """
+def f():
+    y = x
+    x = 1
+    return y
+f()
+"""
+    with pytest.raises(GuestNameError):
+        run_source(source)
+
+
+def test_class_wrong_arity():
+    source = """
+class P:
+    def __init__(self, a, b):
+        self.a = a
+P(1)
+"""
+    with pytest.raises(GuestTypeError):
+        run_source(source)
+
+
+def test_missing_attribute():
+    source = """
+class P:
+    def __init__(self):
+        self.x = 1
+p = P()
+y = p.nonexistent
+"""
+    with pytest.raises(GuestNameError):
+        run_source(source)
+
+
+def test_instruction_budget_guards_infinite_loops():
+    with pytest.raises(VMError):
+        run_source("while True:\n    pass\n", max_instructions=100_000)
+
+
+def test_errors_propagate_from_pypy_jit():
+    source = """
+total = 0
+for i in range(200):
+    total = total + i
+x = total / 0
+"""
+    with pytest.raises(GuestZeroDivisionError):
+        run_source(source, runtime="pypy", jit=True)

@@ -1,0 +1,179 @@
+"""Guest semantics on the CPython-model VM.
+
+Every test runs a small MiniPy program and checks printed results; a
+parallel parametrized test runs the same sources on the PyPy model with
+and without JIT to pin down cross-runtime semantic equivalence.
+"""
+
+import pytest
+
+from conftest import guest_output
+
+CASES = {
+    "int_arithmetic": (
+        "print(7 + 3 * 2 - 1)\nprint(7 // 2)\nprint(7 % 3)\n"
+        "print(2 ** 10)\nprint(-5 + 2)\n",
+        ["12", "3", "1", "1024", "-3"]),
+    "float_arithmetic": (
+        "print(int((1.5 + 2.25) * 4))\nprint(int(7.0 / 2.0 * 10))\n",
+        ["15", "35"]),
+    "mixed_arithmetic": (
+        "print(int(3 * 1.5 + 1))\nprint(int(10 / 4 * 100))\n",
+        ["5", "250"]),
+    "bitwise": (
+        "print(12 & 10)\nprint(12 | 3)\nprint(12 ^ 10)\n"
+        "print(1 << 10)\nprint(1024 >> 3)\n",
+        ["8", "15", "6", "1024", "128"]),
+    "comparison": (
+        "print(1 < 2)\nprint(2 <= 1)\nprint('a' == 'a')\n"
+        "print(3 != 3)\nprint('b' > 'a')\n",
+        ["True", "False", "True", "False", "True"]),
+    "bool_logic": (
+        "x = 5\nprint(x > 0 and x < 10)\nprint(x < 0 or x == 5)\n"
+        "print(not x == 5)\n",
+        ["True", "True", "False"]),
+    "strings": (
+        "s = 'hello' + ' ' + 'world'\nprint(s)\nprint(len(s))\n"
+        "print(s[0])\nprint(s[-1])\nprint(s[1:4])\nprint('ab' * 3)\n",
+        ["hello world", "11", "h", "d", "ell", "ababab"]),
+    "string_methods": (
+        "s = ' Hello,World '\nprint(s.strip())\nprint(s.upper().strip())\n"
+        "print('a-b-c'.split('-'))\nprint('+'.join(['x', 'y']))\n"
+        "print('hello'.replace('l', 'L'))\nprint('hello'.find('ll'))\n"
+        "print('hello'.startswith('he'))\nprint('hello'.count('l'))\n",
+        ["Hello,World", "HELLO,WORLD", "['a', 'b', 'c']", "x+y",
+         "heLLo", "2", "True", "2"]),
+    "lists": (
+        "a = [1, 2, 3]\na.append(4)\nprint(a)\nprint(a[2])\n"
+        "print(a[1:3])\na[0] = 9\nprint(a.pop())\nprint(a)\n"
+        "print([0] * 3)\nprint([1, 2] + [3])\n",
+        ["[1, 2, 3, 4]", "3", "[2, 3]", "4", "[9, 2, 3]", "[0, 0, 0]",
+         "[1, 2, 3]"]),
+    "list_methods": (
+        "a = [3, 1, 2]\na.sort()\nprint(a)\na.reverse()\nprint(a)\n"
+        "a.insert(1, 7)\nprint(a)\nprint(a.index(7))\na.remove(7)\n"
+        "print(a)\nprint(a.count(2))\nb = [1]\nb.extend([2, 3])\n"
+        "print(b)\n",
+        ["[1, 2, 3]", "[3, 2, 1]", "[3, 7, 2, 1]", "1", "[3, 2, 1]",
+         "1", "[1, 2, 3]"]),
+    "dicts": (
+        "d = {}\nd['a'] = 1\nd[2] = 'two'\nprint(d['a'])\nprint(d[2])\n"
+        "print(len(d))\nprint('a' in d)\nprint('z' in d)\n"
+        "print(d.get('z', 99))\nprint(len(d.keys()))\n",
+        ["1", "two", "2", "True", "False", "99", "2"]),
+    "dict_iteration": (
+        "d = {}\nd['x'] = 1\nd['y'] = 2\ntotal = 0\n"
+        "for k in d.keys():\n    total = total + d[k]\nprint(total)\n"
+        "vals = d.values()\nprint(len(vals))\n"
+        "for pair in d.items():\n    k, v = pair\n    print(k)\n",
+        ["3", "2", "x", "y"]),
+    "tuples": (
+        "t = (1, 'two', 3.0)\nprint(t[1])\nprint(len(t))\n"
+        "a, b, c = t\nprint(a)\nprint(t + (4,))\n",
+        ["two", "3", "1", "(1, 'two', 3.0, 4)"]),
+    "for_range": (
+        "total = 0\nfor i in range(10):\n    total = total + i\n"
+        "print(total)\nfor i in range(2, 5):\n    print(i)\n"
+        "for i in range(10, 0, -3):\n    print(i)\n",
+        ["45", "2", "3", "4", "10", "7", "4", "1"]),
+    "while_break_continue": (
+        "i = 0\nfound = -1\nwhile True:\n    i = i + 1\n"
+        "    if i % 2 == 0:\n        continue\n    if i > 7:\n"
+        "        found = i\n        break\nprint(found)\n",
+        ["9"]),
+    "nested_loops": (
+        "total = 0\nfor i in range(4):\n    for j in range(4):\n"
+        "        if j > i:\n            break\n        total = total + 1\n"
+        "print(total)\n",
+        ["10"]),
+    "functions": (
+        "def fact(n):\n    if n <= 1:\n        return 1\n"
+        "    return n * fact(n - 1)\nprint(fact(6))\n",
+        ["720"]),
+    "function_multiple_returns": (
+        "def sign(x):\n    if x > 0:\n        return 1\n"
+        "    if x < 0:\n        return -1\n    return 0\n"
+        "print(sign(5))\nprint(sign(-5))\nprint(sign(0))\n",
+        ["1", "-1", "0"]),
+    "mutual_recursion": (
+        "def is_even(n):\n    if n == 0:\n        return True\n"
+        "    return is_odd(n - 1)\n"
+        "def is_odd(n):\n    if n == 0:\n        return False\n"
+        "    return is_even(n - 1)\nprint(is_even(10))\n"
+        "print(is_odd(7))\n",
+        ["True", "True"]),
+    "classes": (
+        "class Counter:\n    def __init__(self, start):\n"
+        "        self.n = start\n    def bump(self, by):\n"
+        "        self.n = self.n + by\n        return self.n\n"
+        "c = Counter(10)\nprint(c.bump(5))\nprint(c.bump(1))\n"
+        "print(c.n)\n",
+        ["15", "16", "16"]),
+    "instances_are_independent": (
+        "class Box:\n    def __init__(self):\n        self.items = []\n"
+        "a = Box()\nb = Box()\na.items.append(1)\n"
+        "print(len(a.items))\nprint(len(b.items))\n",
+        ["1", "0"]),
+    "builtins": (
+        "print(abs(-5))\nprint(min(3, 1))\nprint(max([4, 9, 2]))\n"
+        "print(sum([1, 2, 3]))\nprint(ord('A'))\nprint(chr(66))\n"
+        "print(int('42'))\nprint(float('2.5'))\nprint(str(17))\n"
+        "print(bool(0))\nprint(list(range(3)))\nprint(sorted([3, 1, 2]))\n",
+        ["5", "1", "9", "6", "65", "B", "42", "2.5", "17", "False",
+         "[0, 1, 2]", "[1, 2, 3]"]),
+    "membership": (
+        "print(2 in [1, 2, 3])\nprint(5 in [1, 2])\n"
+        "print('ell' in 'hello')\nprint(2 not in [1, 3])\n",
+        ["True", "False", "True", "True"]),
+    "is_none": (
+        "x = None\nprint(x is None)\nprint(x is not None)\n",
+        ["True", "False"]),
+    "truthiness": (
+        "if []:\n    print('no')\nelse:\n    print('empty list falsy')\n"
+        "if 'x':\n    print('nonempty str truthy')\n"
+        "if 0.0:\n    print('no')\nelse:\n    print('zero float falsy')\n",
+        ["empty list falsy", "nonempty str truthy", "zero float falsy"]),
+    "str_iteration": (
+        "out = []\nfor ch in 'abc':\n    out.append(ch.upper())\n"
+        "print(''.join(out))\n",
+        ["ABC"]),
+    "big_ints": (
+        "x = 2 ** 100\nprint(x)\nprint(x % 97)\n",
+        [str(2 ** 100), str((2 ** 100) % 97)]),
+    "negative_indexing": (
+        "a = [10, 20, 30]\nprint(a[-1])\nprint(a[-3])\n"
+        "a[-2] = 99\nprint(a)\n",
+        ["30", "10", "[10, 99, 30]"]),
+    "ternary_expr": (
+        "x = 7\nprint('big' if x > 5 else 'small')\n"
+        "print('big' if x > 9 else 'small')\n",
+        ["big", "small"]),
+    "math_module": (
+        "print(int(math.sqrt(144)))\nprint(int(math.floor(3.7)))\n"
+        "print(int(math.pow(2.0, 8.0)))\n",
+        ["12", "3", "256"]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_cpython_semantics(name):
+    source, expected = CASES[name]
+    assert guest_output(source, "cpython") == expected
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_pypy_interp_semantics(name):
+    source, expected = CASES[name]
+    assert guest_output(source, "pypy", jit=False) == expected
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_pypy_jit_semantics(name):
+    source, expected = CASES[name]
+    assert guest_output(source, "pypy", jit=True) == expected
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_v8_semantics(name):
+    source, expected = CASES[name]
+    assert guest_output(source, "v8") == expected

@@ -1,0 +1,56 @@
+"""The paper's warmup protocol (Section III: warm runs, then measure)."""
+
+from repro.categories import OverheadCategory as C
+from repro.experiments.runner import ExperimentRunner
+
+
+def compiled_share(arrays) -> float:
+    categories = arrays["category"]
+    if len(categories) == 0:
+        return 0.0
+    return float((categories == int(C.JIT_COMPILED_CODE)).sum()) \
+        / len(categories)
+
+
+def test_warmup_increases_compiled_share():
+    runner = ExperimentRunner(scale=1)
+    cold = runner.run("chaos", runtime="pypy", jit=True)
+    warm = runner.run("chaos", runtime="pypy", jit=True, warmup_runs=2)
+    cold_share = compiled_share(cold.trace.arrays())
+    warm_share = compiled_share(warm.measured_arrays())
+    assert warm_share > cold_share * 1.5
+
+
+def test_warmup_preserves_output():
+    runner = ExperimentRunner(scale=1)
+    cold = runner.run("sym_sum", runtime="pypy", jit=True)
+    warm = runner.run("sym_sum", runtime="pypy", jit=True, warmup_runs=2)
+    assert warm.output == cold.output
+
+
+def test_measured_window_excludes_warmup():
+    runner = ExperimentRunner(scale=1)
+    warm = runner.run("sym_sum", runtime="pypy", jit=True, warmup_runs=1)
+    assert 0 < warm.measure_start < len(warm.trace)
+    window = warm.measured_arrays()
+    assert len(window["pc"]) == len(warm.trace) - warm.measure_start
+
+
+def test_warmed_measured_run_is_smaller():
+    # The measured window contains no tracing/compilation of the main
+    # loops, so it is much shorter than a cold run.
+    runner = ExperimentRunner(scale=1)
+    cold = runner.run("crypto_pyaes", runtime="pypy", jit=True)
+    warm = runner.run("crypto_pyaes", runtime="pypy", jit=True,
+                      warmup_runs=2)
+    measured = len(warm.trace) - warm.measure_start
+    assert measured < len(cold.trace)
+
+
+def test_cpython_warmup_is_stable():
+    # No JIT: warmup changes nothing about the measured window's rate.
+    runner = ExperimentRunner(scale=1)
+    cold = runner.run("sym_sum", runtime="cpython")
+    warm = runner.run("sym_sum", runtime="cpython", warmup_runs=1)
+    measured = len(warm.trace) - warm.measure_start
+    assert abs(measured - len(cold.trace)) / len(cold.trace) < 0.05

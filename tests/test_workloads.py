@@ -1,0 +1,97 @@
+"""The 48 Python-suite workloads: cross-runtime semantic equivalence.
+
+Every workload must produce identical output on the host Python
+interpreter (ground truth via shim modules), the CPython model, and —
+for a representative subset — the PyPy model with and without JIT.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.frontend import compile_source
+from repro.vm.cpython import run_cpython
+from repro.vm.pypy import run_pypy
+from repro.config import pypy_runtime
+from repro.workloads import (
+    BREAKDOWN_QUICK_SUITE,
+    NURSERY_BENCHMARKS,
+    PYTHON_SUITE,
+    SWEEP_BENCHMARKS,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.native import run_native
+from repro.errors import WorkloadError
+
+
+def test_suite_has_48_benchmarks():
+    assert len(PYTHON_SUITE) == 48
+    assert len(set(PYTHON_SUITE)) == 48
+
+
+def test_figure_subsets_are_members():
+    for subset in (SWEEP_BENCHMARKS, NURSERY_BENCHMARKS,
+                   BREAKDOWN_QUICK_SUITE):
+        for name in subset:
+            assert name in PYTHON_SUITE
+    assert len(SWEEP_BENCHMARKS) == 8   # Figure 8
+    assert len(NURSERY_BENCHMARKS) == 8  # Figures 14/15
+
+
+def test_workload_tags_cover_classes():
+    tags = {get_workload(name).tag for name in PYTHON_SUITE}
+    assert tags == {"numeric", "clib", "oo", "string", "gc"}
+    assert len(workload_names("clib")) == 11
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(WorkloadError):
+        get_workload("no_such_benchmark")
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(WorkloadError):
+        get_workload("float").source(0)
+
+
+def test_scale_grows_work():
+    runner1 = ExperimentRunner(scale=1)
+    runner3 = ExperimentRunner(scale=3)
+    small = runner1.run("tuple_gc", runtime="cpython")
+    big = runner3.run("tuple_gc", runtime="cpython")
+    assert big.bytecodes > 2 * small.bytecodes
+
+
+@pytest.mark.parametrize("name", PYTHON_SUITE)
+def test_matches_native_on_cpython_model(name):
+    source = get_workload(name).source(1)
+    expected = run_native(source)
+    assert expected, f"{name} produced no output natively"
+    program = compile_source(source, name)
+    vm, _ = run_cpython(program, max_instructions=30_000_000)
+    assert vm.output == expected
+
+
+@pytest.mark.parametrize("name", BREAKDOWN_QUICK_SUITE)
+def test_matches_native_on_pypy_models(name):
+    source = get_workload(name).source(1)
+    expected = run_native(source)
+    program = compile_source(source, name)
+    vm_interp, _ = run_pypy(program, pypy_runtime(jit=False),
+                            max_instructions=40_000_000)
+    assert vm_interp.output == expected
+    program = compile_source(source, name)
+    vm_jit, _ = run_pypy(program, pypy_runtime(jit=True),
+                         max_instructions=40_000_000)
+    assert vm_jit.output == expected
+
+
+@pytest.mark.parametrize("name", NURSERY_BENCHMARKS)
+def test_nursery_benchmarks_survive_tiny_nursery(name):
+    source = get_workload(name).source(1)
+    expected = run_native(source)
+    program = compile_source(source, name)
+    vm, _ = run_pypy(program,
+                     pypy_runtime(jit=True, nursery_size=64 * 1024),
+                     max_instructions=60_000_000)
+    assert vm.output == expected
