@@ -11,10 +11,18 @@ from pathlib import Path
 
 import pytest
 
+from repro import telemetry
 from repro.experiments.figures import NURSERY_SCALE
 from repro.experiments.runner import ExperimentRunner
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _benchmark_telemetry():
+    """Benchmarks opt into metrics (the library default stays off)."""
+    with telemetry.session():
+        yield
 
 
 def save_result(result) -> None:
@@ -22,6 +30,14 @@ def save_result(result) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{result.figure_id}.txt"
     path.write_text(str(result) + "\n")
+
+
+def save_text(name: str, text: str) -> Path:
+    """Persist arbitrary rendered text under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,70 @@
+"""Telemetry smoke target: one quick ``chaos`` run, span tree on disk.
+
+Writes ``benchmarks/results/telemetry_smoke.txt`` with the span
+self-time tree and key metrics of a quick PyPy ``chaos`` run, so
+simulator-side perf regressions (guest emission, cache sim, core sim)
+become diffable run to run: the instruction counts are deterministic
+and the per-stage times show where any new wall-clock went.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import save_text
+
+from repro import telemetry
+from repro.analysis.report import render_span_tree
+from repro.config import skylake_config
+from repro.experiments.runner import ExperimentRunner
+from repro.telemetry import TELEMETRY
+from repro.telemetry.export import build_manifest
+
+_64K = 64 * 1024
+
+
+def test_telemetry_smoke():
+    # Start from a clean slate inside the session-wide enablement.
+    telemetry.reset()
+    runner = ExperimentRunner()
+    with TELEMETRY.tracer.span("telemetry_smoke"):
+        handle = runner.run("chaos", runtime="pypy", jit=True,
+                            nursery=_64K)
+        sim = runner.simulate(handle, skylake_config(), core="ooo")
+
+    tree = render_span_tree(TELEMETRY.tracer.tree(),
+                            title="telemetry smoke: quick chaos run "
+                                  "(pypy, 64 kB nursery)")
+    metrics = TELEMETRY.metrics.snapshot()
+    events = TELEMETRY.events
+    throughput = handle.host_instructions / handle.wall_seconds
+    lines = [
+        tree,
+        "",
+        f"host instructions : {handle.host_instructions}",
+        f"simulated cycles  : {sim.cycles:.0f} (CPI {sim.cpi:.2f})",
+        f"guest throughput  : {throughput:,.0f} instr/s (host wall)",
+        f"minor GCs         : {events.count('gc.minor.end')}",
+        f"JIT traces        : {events.count('jit.trace_compile')}",
+        f"guard fails       : {events.count('jit.guard_fail')}",
+        "",
+        "metrics snapshot (excerpt):",
+    ]
+    for key, value in metrics.items():
+        if isinstance(value, dict):  # histograms: count/sum only
+            lines.append(f"  {key}: count={value['count']}")
+        elif key.startswith("sim.instructions_per_second"):
+            lines.append(f"  {key}: {value:,.0f}")
+        else:
+            lines.append(f"  {key}: {value}")
+    path = save_text("telemetry_smoke", "\n".join(lines))
+
+    # Shape assertions: the whole pipeline showed up.
+    assert "guest.run" in tree
+    assert "sim.memory_side" in tree
+    assert "sim.core" in tree
+    assert events.count("gc.minor.end") >= 1
+    assert events.count("jit.trace_compile") >= 1
+    manifest = build_manifest(command="benchmarks.telemetry_smoke")
+    assert json.loads(json.dumps(manifest)) == manifest
+    assert path.exists()

@@ -6,19 +6,33 @@ run        execute a MiniPy file on a modeled runtime, print its output
 breakdown  Table II overhead breakdown for a MiniPy file
 workloads  list the built-in benchmark suites
 figure     regenerate one of the paper's tables/figures
+telemetry  dump the last run's telemetry manifest
+
+``run``, ``breakdown``, and ``figure`` execute with telemetry enabled
+and write a per-run manifest (mirrored to ``.repro-telemetry/
+last_run.json``; ``--metrics-out PATH`` adds an explicit copy) that the
+``telemetry`` command reads back.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .analysis.report import format_percent, render_table
+from . import telemetry
+from .analysis.report import format_percent, render_span_tree, render_table
 from .config import pypy_runtime, v8_runtime
 from .errors import ReproError
 from .frontend import compile_source
 from .host import AddressSpace, HostMachine
 from .pintool import compute_breakdown
+from .telemetry import TELEMETRY
+from .telemetry.export import (
+    load_last_manifest,
+    write_chrome_trace,
+    write_manifest,
+)
 from .uarch import SimulatedSystem
 from .vm.cpython import CPythonVM
 from .vm.pypy import PyPyVM
@@ -27,6 +41,10 @@ from .vm.v8.workloads import JS_SUITE
 from .workloads import PYTHON_SUITE, get_workload
 
 _MB = 1024 * 1024
+
+#: Subcommands that run guest code: telemetry is enabled around them
+#: and a manifest is written when they finish.
+_TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure"})
 
 
 def _build_vm(runtime: str, machine: HostMachine, program,
@@ -51,12 +69,22 @@ def _load_program(path: str):
 def cmd_run(args) -> int:
     program = _load_program(args.file)
     machine = HostMachine(AddressSpace(nursery_size=args.nursery * _MB))
-    vm = _build_vm(args.runtime, machine, program,
-                   jit=not args.no_jit, nursery=args.nursery * _MB)
-    vm.run()
+    with TELEMETRY.tracer.span("guest.run", workload=args.file,
+                               runtime=args.runtime,
+                               jit=not args.no_jit):
+        vm = _build_vm(args.runtime, machine, program,
+                       jit=not args.no_jit, nursery=args.nursery * _MB)
+        vm.run()
+    TELEMETRY.metrics.counter(
+        "guest.instructions", runtime=args.runtime).inc(len(machine.trace))
     for line in vm.output:
         print(line)
-    timing = SimulatedSystem().run(machine.trace, core="ooo")
+    with TELEMETRY.tracer.span("sim.core", workload=args.file,
+                               core="ooo"):
+        timing = SimulatedSystem().run(machine.trace, core="ooo")
+    args._manifest_stats = vm.stats.as_dict()
+    args._manifest_stats["host_instructions"] = len(machine.trace)
+    args._manifest_stats["cycles"] = timing.cycles
     print(f"-- {args.runtime}: {vm.stats.bytecodes} bytecodes, "
           f"{len(machine.trace)} host instructions, "
           f"{timing.cycles:.0f} cycles (CPI {timing.cpi:.2f})",
@@ -67,12 +95,17 @@ def cmd_run(args) -> int:
 def cmd_breakdown(args) -> int:
     program = _load_program(args.file)
     machine = HostMachine(AddressSpace(nursery_size=args.nursery * _MB))
-    vm = _build_vm(args.runtime, machine, program,
-                   jit=not args.no_jit, nursery=args.nursery * _MB)
-    vm.run()
-    breakdown = compute_breakdown(machine.trace, machine,
-                                  runtime=args.runtime,
-                                  workload=args.file)
+    with TELEMETRY.tracer.span("guest.run", workload=args.file,
+                               runtime=args.runtime,
+                               jit=not args.no_jit):
+        vm = _build_vm(args.runtime, machine, program,
+                       jit=not args.no_jit, nursery=args.nursery * _MB)
+        vm.run()
+    args._manifest_stats = vm.stats.as_dict()
+    with TELEMETRY.tracer.span("analysis.breakdown", workload=args.file):
+        breakdown = compute_breakdown(machine.trace, machine,
+                                      runtime=args.runtime,
+                                      workload=args.file)
     rows = [[label, format_percent(share)]
             for label, share in breakdown.top_categories(20)]
     print(render_table(["category", "share of cycles"], rows,
@@ -108,6 +141,26 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    manifest = load_last_manifest()
+    if manifest is None:
+        print("no telemetry manifest found; run a command first "
+              "(e.g. `python -m repro run chaos`)", file=sys.stderr)
+        return 1
+    if args.chrome_out:
+        path = write_chrome_trace(args.chrome_out, manifest)
+        print(f"wrote Chrome trace-event JSON to {path} "
+              "(load it in chrome://tracing)")
+        return 0
+    if args.tree:
+        print(render_span_tree(manifest.get("spans", []),
+                               title="span self-time tree (last run)"))
+        return 0
+    json.dump(manifest, sys.stdout, indent=2)
+    print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the JIT (pypy runtime)")
         p.add_argument("--nursery", type=int, default=1,
                        help="nursery size in MB (pypy/v8)")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write the telemetry manifest (JSON) here")
         p.set_defaults(func=func)
 
     p = sub.add_parser("workloads")
@@ -134,17 +189,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="table1, table2, fig4 ... fig17")
     p.add_argument("--full", action="store_true",
                    help="full grids instead of quick ones")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the telemetry manifest (JSON) here")
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="dump the last run's telemetry manifest")
+    p.add_argument("--tree", action="store_true",
+                   help="print the ASCII span self-time tree instead")
+    p.add_argument("--chrome-out", metavar="PATH",
+                   help="write the Chrome trace-event JSON here")
+    p.set_defaults(func=cmd_telemetry)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    with_telemetry = args.command in _TELEMETRY_COMMANDS
+    if with_telemetry:
+        telemetry.enable()
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if with_telemetry:
+            config = {k: v for k, v in vars(args).items()
+                      if not k.startswith("_") and k != "func"}
+            write_manifest(getattr(args, "metrics_out", None) or None,
+                           command=args.command, config=config,
+                           stats=getattr(args, "_manifest_stats", None))
+            telemetry.disable()
 
 
 if __name__ == "__main__":

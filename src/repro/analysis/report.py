@@ -42,3 +42,35 @@ def render_series(title: str, x_labels: list[str],
     for name, values in series.items():
         rows.append([name] + [value_format.format(v) for v in values])
     return render_table(headers, rows, title=title)
+
+
+def _format_ms(value_us: float) -> str:
+    return f"{value_us / 1000.0:.2f}"
+
+
+def render_span_tree(spans: list[dict], title: str = "span tree") -> str:
+    """ASCII self-time tree for a telemetry span forest.
+
+    ``spans`` is the nested-dict form produced by
+    :meth:`repro.telemetry.tracing.Tracer.tree` (or read back from a
+    run manifest). Each line shows total and self time in
+    milliseconds plus the span's attributes.
+    """
+    rows: list[list[str]] = []
+
+    def visit(span: dict, depth: int) -> None:
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
+        rows.append(["  " * depth + span["name"],
+                     _format_ms(span.get("duration_us", 0.0)),
+                     _format_ms(span.get("self_us", 0.0)),
+                     attr_text])
+        for child in span.get("children", ()):
+            visit(child, depth + 1)
+
+    for root in spans:
+        visit(root, 0)
+    if not rows:
+        return f"{title}\n(no spans recorded)"
+    return render_table(["span", "total ms", "self ms", "attrs"], rows,
+                        title=title)

@@ -15,6 +15,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from ..analysis.breakdown import (
@@ -47,6 +48,7 @@ from ..categories import (
     label_of,
 )
 from ..config import scaled_config, skylake_config
+from ..telemetry import TELEMETRY
 from ..vm.v8.workloads import JS_SUITE
 from ..workloads import (
     BREAKDOWN_QUICK_SUITE,
@@ -88,10 +90,22 @@ def _runner(runner: ExperimentRunner | None, scale: int = 1,
     return runner if runner is not None else ExperimentRunner(scale=scale)
 
 
+def _traced(func):
+    """Wrap a figure entry point in one telemetry span (``figure.<id>``)."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        with TELEMETRY.tracer.span(f"figure.{func.__name__}"):
+            return func(*args, **kwargs)
+
+    return wrapper
+
+
 # ----------------------------------------------------------------------
 # Tables
 # ----------------------------------------------------------------------
 
+@_traced
 def table1() -> FigureResult:
     """Table I: the simulated machine configuration."""
     config = skylake_config()
@@ -123,6 +137,7 @@ def table1() -> FigureResult:
                         {"config": config})
 
 
+@_traced
 def table2() -> FigureResult:
     """Table II: the overhead taxonomy."""
     rows = []
@@ -144,6 +159,7 @@ def table2() -> FigureResult:
 # Figures 4-6: breakdowns
 # ----------------------------------------------------------------------
 
+@_traced
 def fig4(runner: ExperimentRunner | None = None, quick: bool = True,
          ) -> FigureResult:
     """Figure 4: CPython overhead breakdown (language + interpreter)."""
@@ -224,6 +240,7 @@ def _ccall_figure(figure_id: str, title: str, runner: ExperimentRunner,
                         {"shares": shares, "average": average})
 
 
+@_traced
 def fig5(runner: ExperimentRunner | None = None, quick: bool = True,
          ) -> FigureResult:
     """Figure 5: C function call overhead for PyPy (with JIT)."""
@@ -234,6 +251,7 @@ def fig5(runner: ExperimentRunner | None = None, quick: bool = True,
         runner, workloads, "pypy")
 
 
+@_traced
 def fig6(runner: ExperimentRunner | None = None, quick: bool = True,
          ) -> FigureResult:
     """Figure 6: C function call overhead for V8."""
@@ -248,6 +266,7 @@ def fig6(runner: ExperimentRunner | None = None, quick: bool = True,
 # Figures 7-9: microarchitecture sweeps
 # ----------------------------------------------------------------------
 
+@_traced
 def fig7(runner: ExperimentRunner | None = None, quick: bool = True,
          ) -> FigureResult:
     """Figure 7: average CPI vs microarchitecture parameters."""
@@ -277,6 +296,7 @@ def fig7(runner: ExperimentRunner | None = None, quick: bool = True,
                         {"sweep": sweep, "phases": phases})
 
 
+@_traced
 def fig8(runner: ExperimentRunner | None = None, quick: bool = True,
          ) -> FigureResult:
     """Figure 8: per-benchmark CPI sweeps for PyPy with JIT."""
@@ -306,6 +326,7 @@ def fig8(runner: ExperimentRunner | None = None, quick: bool = True,
                         "\n\n".join(sections), {"series": data})
 
 
+@_traced
 def fig9(runner: ExperimentRunner | None = None, quick: bool = True,
          ) -> FigureResult:
     """Figure 9: average CPI sweeps for V8."""
@@ -342,6 +363,7 @@ def _nursery_workloads(quick: bool):
     return NURSERY_BENCHMARKS[:4] if quick else NURSERY_BENCHMARKS
 
 
+@_traced
 def fig10(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 10: LLC miss rate as a function of nursery size."""
@@ -372,6 +394,7 @@ def fig10(runner: ExperimentRunner | None = None, quick: bool = True,
                         {"ratios": ratios, "rates": rates, "jump": jump})
 
 
+@_traced
 def fig11(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 11: GC / non-GC / overall time vs nursery size."""
@@ -403,6 +426,7 @@ def fig11(runner: ExperimentRunner | None = None, quick: bool = True,
                         rendered, {"ratios": ratios, "series": series})
 
 
+@_traced
 def fig12(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 12: nursery sweep for run-time configs and LLC sizes."""
@@ -439,6 +463,7 @@ def fig12(runner: ExperimentRunner | None = None, quick: bool = True,
                         rendered, {"ratios": ratios, "series": series})
 
 
+@_traced
 def fig13(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 13: GC time as a percentage of execution, w/o vs w/ JIT."""
@@ -487,6 +512,7 @@ def _per_benchmark_nursery(figure_id: str, title: str, jit: bool,
                         {"ratios": ratios, "series": series})
 
 
+@_traced
 def fig14(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 14: per-benchmark nursery sweep, PyPy with JIT."""
@@ -495,6 +521,7 @@ def fig14(runner: ExperimentRunner | None = None, quick: bool = True,
         True, runner, quick)
 
 
+@_traced
 def fig15(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 15: per-benchmark nursery sweep, PyPy without JIT."""
@@ -503,6 +530,7 @@ def fig15(runner: ExperimentRunner | None = None, quick: bool = True,
         False, runner, quick)
 
 
+@_traced
 def fig16(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 16: nursery sweep for V8 with different LLC sizes."""
@@ -532,6 +560,7 @@ def fig16(runner: ExperimentRunner | None = None, quick: bool = True,
                         {"ratios": ratios, "series": series})
 
 
+@_traced
 def fig17(runner: ExperimentRunner | None = None, quick: bool = True,
           ) -> FigureResult:
     """Figure 17: best nursery size per application."""

@@ -9,6 +9,7 @@ loop workload-outer / config-inner without re-interpreting.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -24,6 +25,8 @@ from ..frontend.compiler import Program, compile_source
 from ..host.address_space import AddressSpace
 from ..host.machine import HostMachine
 from ..host.trace import InstructionTrace
+from ..telemetry import TELEMETRY
+from ..telemetry.export import write_manifest
 from ..uarch.system import MemorySideState, SimulatedSystem
 from ..vm.cpython import CPythonVM
 from ..vm.pypy import PyPyVM
@@ -54,6 +57,15 @@ class RunHandle:
     output: list[str]
     #: Trace row where the measured (post-warmup) execution begins.
     measure_start: int = 0
+    #: Monotonic per-handle token; the runner's state cache keys on it
+    #: (``id(trace)`` is unsafe: ids are reused after eviction frees a
+    #: trace, which silently aliased MemorySideStates across runs).
+    token: int = 0
+    #: Host wall-clock seconds the guest run took (warmup included).
+    wall_seconds: float = 0.0
+    #: Total host instructions emitted (warmup included); benchmarks
+    #: derive simulator throughput as host_instructions / wall_seconds.
+    host_instructions: int = 0
 
     def measured_arrays(self):
         """Trace columns restricted to the measured window."""
@@ -75,7 +87,8 @@ class ExperimentRunner:
 
     def __init__(self, scale: int = 1, max_instructions: int = 120_000_000,
                  trace_cache_size: int = 4,
-                 state_cache_size: int = 12) -> None:
+                 state_cache_size: int = 12,
+                 metrics_out: str | None = None) -> None:
         self.scale = scale
         self.max_instructions = max_instructions
         self._traces: OrderedDict[tuple, RunHandle] = OrderedDict()
@@ -83,6 +96,15 @@ class ExperimentRunner:
         self._trace_cache_size = trace_cache_size
         self._state_cache_size = state_cache_size
         self._programs: dict[tuple, Program] = {}
+        #: Next RunHandle.token; never reused within a runner.
+        self._next_token = 1
+        #: id()s of evicted (hence possibly freed) trace objects — used
+        #: to count how often a fresh trace reuses one, i.e. how often
+        #: the old id()-keyed state cache would have aliased.
+        self._retired_trace_ids: set[int] = set()
+        #: When set, a manifest is written here after every fresh run.
+        self.metrics_out = metrics_out
+        self.last_handle: RunHandle | None = None
 
     # ------------------------------------------------------------------
     # Guest execution
@@ -116,24 +138,37 @@ class ExperimentRunner:
             nursery = 0
         key = (workload, runtime, jit, nursery, self.scale, warmup_runs)
         handle = self._traces.get(key)
+        metrics = TELEMETRY.metrics
         if handle is not None:
             self._traces.move_to_end(key)
+            metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
             return handle
+        metrics.counter("runner.trace_cache.miss", runtime=runtime).inc()
         program = self._program(workload, runtime)
         space = AddressSpace(nursery_size=max(nursery, 16 * 1024))
         machine = HostMachine(space, max_instructions=self.max_instructions)
         config = _runtime_config(runtime, jit, max(nursery, 16 * 1024))
-        if runtime == "cpython":
-            vm = CPythonVM(machine, program)
-        elif runtime == "pypy":
-            vm = PyPyVM(machine, program, config)
-        else:
-            vm = V8VM(machine, program, config)
-        for _ in range(warmup_runs):
+        start = time.perf_counter()
+        with TELEMETRY.tracer.span("guest.run", workload=workload,
+                                   runtime=runtime, jit=jit,
+                                   nursery=nursery):
+            if runtime == "cpython":
+                vm = CPythonVM(machine, program)
+            elif runtime == "pypy":
+                vm = PyPyVM(machine, program, config)
+            else:
+                vm = V8VM(machine, program, config)
+            for _ in range(warmup_runs):
+                vm.run()
+                vm.output.clear()
+            measure_start = len(machine.trace)
             vm.run()
-            vm.output.clear()
-        measure_start = len(machine.trace)
-        vm.run()
+        wall_seconds = time.perf_counter() - start
+        if id(machine.trace) in self._retired_trace_ids:
+            # This fresh trace reuses the id of an evicted one: exactly
+            # the aliasing the id()-keyed state cache suffered from.
+            self._retired_trace_ids.discard(id(machine.trace))
+            metrics.counter("runner.state_cache.id_collisions").inc()
         stats = vm.stats
         handle = RunHandle(
             workload=workload, runtime=runtime, jit=jit, nursery=nursery,
@@ -142,10 +177,19 @@ class ExperimentRunner:
             allocated_bytes=stats.allocated_bytes,
             minor_gcs=stats.minor_gcs, major_gcs=stats.major_gcs,
             traces_compiled=stats.traces_compiled, deopts=stats.deopts,
-            output=list(vm.output), measure_start=measure_start)
+            output=list(vm.output), measure_start=measure_start,
+            token=self._next_token, wall_seconds=wall_seconds,
+            host_instructions=len(machine.trace))
+        self._next_token += 1
+        metrics.counter("guest.instructions",
+                        runtime=runtime).inc(len(machine.trace))
         self._traces[key] = handle
         while len(self._traces) > self._trace_cache_size:
-            self._traces.popitem(last=False)
+            _, evicted = self._traces.popitem(last=False)
+            self._retired_trace_ids.add(id(evicted.trace))
+        self.last_handle = handle
+        if self.metrics_out is not None:
+            self.write_manifest(self.metrics_out)
         return handle
 
     # ------------------------------------------------------------------
@@ -161,13 +205,19 @@ class ExperimentRunner:
     def memory_side(self, handle: RunHandle, config: MachineConfig,
                     ) -> MemorySideState:
         """Cache + branch simulation for one (run, machine) pair."""
-        key = (id(handle.trace), self._config_key(config))
+        key = (handle.token, self._config_key(config))
         state = self._states.get(key)
+        metrics = TELEMETRY.metrics
         if state is not None:
             self._states.move_to_end(key)
+            metrics.counter("runner.state_cache.hit").inc()
             return state
-        system = SimulatedSystem(config)
-        state = system.memory_side(handle.trace)
+        metrics.counter("runner.state_cache.miss").inc()
+        with TELEMETRY.tracer.span("sim.memory_side",
+                                   workload=handle.workload,
+                                   runtime=handle.runtime):
+            system = SimulatedSystem(config)
+            state = system.memory_side(handle.trace)
         self._states[key] = state
         while len(self._states) > self._state_cache_size:
             self._states.popitem(last=False)
@@ -177,5 +227,40 @@ class ExperimentRunner:
                  core: str = "ooo"):
         """End-to-end timing for one run on one machine configuration."""
         state = self.memory_side(handle, config)
-        system = SimulatedSystem(config)
-        return system.run(handle.trace, core=core, state=state)
+        with TELEMETRY.tracer.span("sim.core", workload=handle.workload,
+                                   runtime=handle.runtime, core=core):
+            system = SimulatedSystem(config)
+            return system.run(handle.trace, core=core, state=state)
+
+    # ------------------------------------------------------------------
+    # Telemetry export
+    # ------------------------------------------------------------------
+
+    def write_manifest(self, path: str | None = None):
+        """Write the per-run JSON manifest for the most recent run."""
+        handle = self.last_handle
+        stats = None
+        if handle is not None:
+            stats = {
+                "workload": handle.workload,
+                "runtime": handle.runtime,
+                "jit": handle.jit,
+                "nursery": handle.nursery,
+                "bytecodes": handle.bytecodes,
+                "allocations": handle.allocations,
+                "allocated_bytes": handle.allocated_bytes,
+                "minor_gcs": handle.minor_gcs,
+                "major_gcs": handle.major_gcs,
+                "traces_compiled": handle.traces_compiled,
+                "deopts": handle.deopts,
+                "wall_seconds": handle.wall_seconds,
+                "host_instructions": handle.host_instructions,
+            }
+        config = {
+            "scale": self.scale,
+            "max_instructions": self.max_instructions,
+            "trace_cache_size": self._trace_cache_size,
+            "state_cache_size": self._state_cache_size,
+        }
+        return write_manifest(path, command="experiments.runner",
+                              config=config, stats=stats)

@@ -1,0 +1,95 @@
+"""``repro.telemetry`` — spans, metrics, and structured VM events.
+
+One process-wide :data:`TELEMETRY` state object holds the three sinks:
+
+* ``TELEMETRY.metrics`` — :class:`~repro.telemetry.metrics.MetricsRegistry`
+* ``TELEMETRY.tracer`` — :class:`~repro.telemetry.tracing.Tracer`
+* ``TELEMETRY.events`` — :class:`~repro.telemetry.events.EventLog`
+
+The default (library use) is **disabled**: every sink is a null object
+and instrumentation costs a no-op call at most; simulation hot loops
+additionally guard on ``TELEMETRY.enabled`` so they pay one attribute
+read. The CLI and the benchmark suite call :func:`enable`;
+:func:`session` scopes enablement for tests.
+
+Instrumented code must read the sinks *through* ``TELEMETRY`` at use
+time (``TELEMETRY.events.emit(...)``), never cache them at import or
+construction time — :func:`enable`/:func:`disable` swap the attributes
+in place.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .events import DEFAULT_CAPACITY, EventLog, NullEventLog, NULL_EVENTS
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .tracing import NullTracer, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "TELEMETRY", "TelemetryState", "enable", "disable", "reset",
+    "session", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricError", "NullRegistry", "Tracer", "NullTracer", "Span",
+    "EventLog", "NullEventLog", "DEFAULT_CAPACITY",
+]
+
+
+class TelemetryState:
+    """Holder whose attributes are swapped by enable()/disable()."""
+
+    __slots__ = ("enabled", "metrics", "tracer", "events")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.events = NULL_EVENTS
+
+
+#: The process-wide telemetry state. Disabled (null sinks) by default.
+TELEMETRY = TelemetryState()
+
+
+def enable(event_capacity: int = DEFAULT_CAPACITY) -> TelemetryState:
+    """Install live sinks. Idempotent (keeps existing data if already on)."""
+    if not TELEMETRY.enabled:
+        TELEMETRY.metrics = MetricsRegistry()
+        TELEMETRY.tracer = Tracer()
+        TELEMETRY.events = EventLog(capacity=event_capacity)
+        TELEMETRY.enabled = True
+    return TELEMETRY
+
+
+def disable() -> None:
+    """Restore the zero-cost null sinks (discards recorded data)."""
+    TELEMETRY.enabled = False
+    TELEMETRY.metrics = NULL_REGISTRY
+    TELEMETRY.tracer = NULL_TRACER
+    TELEMETRY.events = NULL_EVENTS
+
+
+def reset() -> None:
+    """Clear recorded data without changing enablement."""
+    TELEMETRY.metrics.reset()
+    TELEMETRY.tracer.reset()
+    TELEMETRY.events.reset()
+
+
+@contextmanager
+def session(event_capacity: int = DEFAULT_CAPACITY):
+    """Enable telemetry for a ``with`` block, then restore prior state."""
+    was_enabled = TELEMETRY.enabled
+    enable(event_capacity=event_capacity)
+    try:
+        yield TELEMETRY
+    finally:
+        if not was_enabled:
+            disable()

@@ -1,0 +1,101 @@
+"""Bounded structured event log the modeled VMs emit into.
+
+Events are the discrete happenings the paper's figures turn on — a
+minor collection with its promoted bytes, a JIT trace compile, a guard
+failure escalating to a bridge — recorded as ``(ts_us, kind, fields)``
+rows. The log is a ring: once ``capacity`` is reached the oldest rows
+are dropped and counted, so a pathological workload cannot balloon a
+manifest. Per-kind counts survive eviction (``counts`` is cumulative).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+DEFAULT_CAPACITY = 8192
+
+
+class EventLog:
+    """Append-only ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock=time.perf_counter) -> None:
+        if capacity <= 0:
+            raise ValueError("event log capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._epoch = clock()
+        self._events: deque = deque(maxlen=capacity)
+        #: Cumulative emissions per kind (not affected by eviction).
+        self.counts: dict[str, int] = {}
+        self.emitted = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._events)
+
+    def emit(self, kind: str, /, **fields) -> None:
+        self.emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        ts_us = (self._clock() - self._epoch) * 1e6
+        self._events.append((ts_us, kind, fields))
+
+    def count(self, kind: str) -> int:
+        """Cumulative number of ``kind`` events emitted (incl. dropped)."""
+        return self.counts.get(kind, 0)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        for ts_us, kind, fields in self._events:
+            yield {"ts_us": round(ts_us, 3), "kind": kind, **fields}
+
+    def reset(self) -> None:
+        self._events.clear()
+        self.counts.clear()
+        self.emitted = 0
+        self._epoch = self._clock()
+
+    def snapshot(self) -> dict:
+        """Manifest block: retained rows plus cumulative accounting."""
+        return {
+            "capacity": self.capacity,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "counts": dict(sorted(self.counts.items())),
+            "events": list(self),
+        }
+
+
+class NullEventLog:
+    """Default sink when telemetry is disabled: swallows everything."""
+
+    __slots__ = ()
+    capacity = 0
+    emitted = 0
+    dropped = 0
+    counts: dict = {}
+
+    def emit(self, kind: str, /, **fields) -> None:
+        pass
+
+    def count(self, kind: str) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"capacity": 0, "emitted": 0, "dropped": 0,
+                "counts": {}, "events": []}
+
+
+NULL_EVENTS = NullEventLog()

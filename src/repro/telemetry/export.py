@@ -1,0 +1,101 @@
+"""Per-run JSON manifest: config, stats, metrics, spans, and events.
+
+One manifest fully describes one run: what was asked for (``command``,
+``config``), what the guest did (``stats``, ``events``), and where the
+simulator spent its own time (``metrics``, ``spans``,
+``chrome_trace``). The CLI and :class:`~repro.experiments.runner.
+ExperimentRunner` write one after every telemetry-enabled run; the
+latest one is mirrored to ``<telemetry-dir>/last_run.json`` so
+``python -m repro telemetry`` can dump it afterwards.
+
+The telemetry directory defaults to ``.repro-telemetry`` under the
+current working directory and is overridable with the
+``REPRO_TELEMETRY_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from . import TELEMETRY
+
+#: Manifest schema identifier, bumped on incompatible layout changes.
+SCHEMA = "repro-telemetry/1"
+
+LAST_RUN_NAME = "last_run.json"
+
+
+def telemetry_dir() -> Path:
+    return Path(os.environ.get("REPRO_TELEMETRY_DIR", ".repro-telemetry"))
+
+
+def build_manifest(command: str | None = None,
+                   config: dict | None = None,
+                   stats: dict | None = None) -> dict:
+    """Snapshot the live telemetry state into one JSON-ready dict."""
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "command": command,
+        "config": config or {},
+        "stats": stats or {},
+        "metrics": TELEMETRY.metrics.snapshot(),
+        "spans": TELEMETRY.tracer.tree(),
+        "events": TELEMETRY.events.snapshot(),
+        "chrome_trace": {"traceEvents": TELEMETRY.tracer.to_chrome_trace(),
+                         "displayTimeUnit": "ms"},
+    }
+
+
+def write_manifest(path: str | Path | None = None,
+                   command: str | None = None,
+                   config: dict | None = None,
+                   stats: dict | None = None,
+                   manifest: dict | None = None) -> Path:
+    """Write a manifest to ``path`` and mirror it to ``last_run.json``.
+
+    With ``path=None`` only the ``last_run.json`` mirror is written.
+    Returns the primary path written.
+    """
+    if manifest is None:
+        manifest = build_manifest(command=command, config=config,
+                                  stats=stats)
+    text = json.dumps(manifest, indent=2, sort_keys=False, default=str)
+    last_run = telemetry_dir() / LAST_RUN_NAME
+    last_run.parent.mkdir(parents=True, exist_ok=True)
+    last_run.write_text(text + "\n", encoding="utf-8")
+    if path is None:
+        return last_run
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def load_last_manifest() -> dict | None:
+    """The most recently written manifest, or None if there isn't one."""
+    path = telemetry_dir() / LAST_RUN_NAME
+    if not path.exists():
+        return None
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_chrome_trace(path: str | Path,
+                       manifest: dict | None = None) -> Path:
+    """Write just the Chrome trace-event JSON (``chrome://tracing``)."""
+    if manifest is None:
+        trace = {"traceEvents": TELEMETRY.tracer.to_chrome_trace(),
+                 "displayTimeUnit": "ms"}
+    else:
+        trace = manifest.get("chrome_trace",
+                             {"traceEvents": [], "displayTimeUnit": "ms"})
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace, indent=2) + "\n", encoding="utf-8")
+    return path

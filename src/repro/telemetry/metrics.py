@@ -1,0 +1,222 @@
+"""Process-wide metrics: counters, gauges, log-bucketed histograms.
+
+The registry hands out *labeled children*: ``registry.counter(
+"guest.instructions", runtime="pypy")`` names one time series; the same
+call with ``runtime="v8"`` names another. A snapshot renders each child
+as ``name{label=value,...}`` (Prometheus-style), which is the key format
+the run manifest uses.
+
+Instrumented code never checks whether telemetry is on — it talks to
+whatever registry :data:`repro.telemetry.TELEMETRY` currently holds.
+When telemetry is disabled that is a :class:`NullRegistry`, whose
+children swallow every update, so the library-default cost is one
+attribute load and a no-op call on paths that are never per-instruction
+hot (see DESIGN.md §3: hot loops guard on ``TELEMETRY.enabled``).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class MetricError(ReproError):
+    """A metric name was reused with a different instrument type."""
+
+
+def _label_key(labels: dict[str, object]) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, label_key: tuple) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (events, instructions, hits)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-written value (rates, sizes, temperatures)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Log-bucketed distribution (powers of two).
+
+    An observation ``v`` lands in the bucket whose upper bound is the
+    smallest power of two ``>= v`` (observations ``<= 1`` share the
+    ``1`` bucket). Log bucketing keeps the footprint constant for
+    values spanning many orders of magnitude — trace lengths, bytes
+    promoted, span durations in microseconds.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        #: exponent -> count; bucket upper bound is ``2 ** exponent``.
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        exponent = 0
+        if value > 1:
+            exponent = int(value - 1).bit_length()
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {f"le_{2 ** e}": n
+                        for e, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Process-wide instrument store with labeled children."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _child(self, cls, name: str, labels: dict[str, object]):
+        kind = self._kinds.get(name)
+        if kind is not None and kind != cls.kind:
+            raise MetricError(
+                f"metric {name!r} already registered as a {kind}, "
+                f"cannot reuse it as a {cls.kind}")
+        label_key = _label_key(labels)
+        child = self._metrics.get((name, label_key))
+        if child is None:
+            self._kinds[name] = cls.kind
+            child = cls(name, label_key)
+            self._metrics[(name, label_key)] = child
+        return child
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._child(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._child(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._child(Histogram, name, labels)
+
+    def get(self, name: str, **labels):
+        """Fetch an existing child without creating it (None if absent)."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def reset(self) -> None:
+        self._metrics.clear()
+        self._kinds.clear()
+
+    def snapshot(self) -> dict[str, object]:
+        """``name{labels}`` -> value/histogram-dict, sorted by key."""
+        out = {}
+        for (name, label_key), metric in self._metrics.items():
+            out[_render_name(name, label_key)] = metric.snapshot()
+        return dict(sorted(out.items()))
+
+
+class _NullMetric:
+    """Accepts every update, records nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def snapshot(self):
+        return 0
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Default registry when telemetry is disabled: all no-ops."""
+
+    __slots__ = ()
+
+    def counter(self, name, **labels):
+        return NULL_METRIC
+
+    def gauge(self, name, **labels):
+        return NULL_METRIC
+
+    def histogram(self, name, **labels):
+        return NULL_METRIC
+
+    def get(self, name, **labels):
+        return None
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

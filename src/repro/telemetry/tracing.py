@@ -1,0 +1,177 @@
+"""Nested wall-clock spans and their Chrome trace-event export.
+
+A :class:`Tracer` records a forest of :class:`Span` objects via a
+context manager::
+
+    with tracer.span("guest.run", workload="chaos", runtime="pypy"):
+        with tracer.span("sim.memory_side"):
+            ...
+
+The recorded forest exports two ways:
+
+* ``to_chrome_trace()`` — Trace Event Format "complete" events
+  (``ph="X"``, microsecond ``ts``/``dur``) that load directly in
+  ``chrome://tracing`` / Perfetto;
+* ``tree()`` — plain nested dicts, rendered as an ASCII self-time tree
+  by :func:`repro.analysis.report.render_span_tree`.
+
+Timestamps are microseconds relative to the tracer's creation so
+manifests diff cleanly across runs. The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed region: name, attributes, children."""
+
+    __slots__ = ("name", "attrs", "start_us", "end_us", "children")
+
+    def __init__(self, name: str, attrs: dict | None,
+                 start_us: float) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.start_us = start_us
+        self.end_us = start_us
+        self.children: list[Span] = []
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def self_us(self) -> float:
+        """Time spent in this span excluding its children."""
+        return self.duration_us - sum(c.duration_us for c in self.children)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start_us": round(self.start_us, 3),
+            "duration_us": round(self.duration_us, 3),
+            "self_us": round(self.self_us, 3),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager that closes its span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self.span)
+
+
+class Tracer:
+    """Records a forest of nested spans against one wall clock."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._epoch) * 1e6
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span nested under the innermost live span."""
+        span = Span(name, attrs, self._now_us())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end_us = self._now_us()
+        # Unwind to the closed span; tolerates a child left open by an
+        # exception between two spans.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+        self._epoch = self._clock()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def tree(self) -> list[dict]:
+        """The whole forest as nested plain dicts (manifest `spans`)."""
+        return [root.to_dict() for root in self.roots]
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Trace Event Format complete events (``chrome://tracing``)."""
+        events: list[dict] = []
+
+        def visit(span: Span) -> None:
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start_us, 3),
+                "dur": round(span.duration_us, 3),
+                "pid": 1,
+                "tid": 1,
+                "cat": "repro",
+                "args": dict(span.attrs),
+            })
+            for child in span.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        return events
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    span = None
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Default tracer when telemetry is disabled: records nothing."""
+
+    __slots__ = ()
+    roots: list = []
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def reset(self) -> None:
+        pass
+
+    def tree(self) -> list:
+        return []
+
+    def to_chrome_trace(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()

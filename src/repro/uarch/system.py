@@ -10,12 +10,14 @@ cache simulation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..config import MachineConfig, skylake_config
 from ..host.trace import InstructionTrace
+from ..telemetry import TELEMETRY
 from .branch import BranchStats, simulate_branches
 from .cache import CacheStats, simulate_cache_hierarchy
 from .ooo_core import ooo_cycles
@@ -67,12 +69,25 @@ class SimulatedSystem:
     def __init__(self, config: MachineConfig | None = None) -> None:
         self.config = config if config is not None else skylake_config()
 
+    @staticmethod
+    def _note_throughput(stage: str, instructions: int,
+                         elapsed: float) -> None:
+        """Gauge: simulated instructions per host second, per stage."""
+        if elapsed > 0:
+            TELEMETRY.metrics.gauge(
+                "sim.instructions_per_second",
+                stage=stage).set(instructions / elapsed)
+
     def memory_side(self, trace: InstructionTrace) -> MemorySideState:
         """Run cache hierarchy and branch predictor over the trace."""
+        start = time.perf_counter() if TELEMETRY.enabled else 0.0
         arrays = trace.arrays()
         cache_result = simulate_cache_hierarchy(arrays, self.config)
         mispredicted, branch_stats = simulate_branches(
             arrays, self.config.branch)
+        if TELEMETRY.enabled:
+            self._note_throughput("memory_side", len(trace),
+                                  time.perf_counter() - start)
         return MemorySideState(
             dlevel=cache_result.dlevel,
             ilevel=cache_result.ilevel,
@@ -92,12 +107,16 @@ class SimulatedSystem:
         arrays = trace.arrays()
         if state is None:
             state = self.memory_side(trace)
+        start = time.perf_counter() if TELEMETRY.enabled else 0.0
         if core == "simple":
             per_instruction = simple_core_cycles(
                 state.dlevel, state.ilevel, self.config)
             category_cycles = attribute_cycles(
                 arrays["category"], per_instruction)
             cycles = float(per_instruction.sum())
+            if TELEMETRY.enabled:
+                self._note_throughput("core.simple", len(trace),
+                                      time.perf_counter() - start)
             return SimResult(
                 instructions=len(trace), cycles=cycles, core_model="simple",
                 cache_stats=state.cache_stats,
@@ -107,6 +126,9 @@ class SimulatedSystem:
         if core == "ooo":
             cycles = ooo_cycles(arrays, state.dlevel, state.ilevel,
                                 state.mispredicted, self.config)
+            if TELEMETRY.enabled:
+                self._note_throughput("core.ooo", len(trace),
+                                      time.perf_counter() - start)
             return SimResult(
                 instructions=len(trace), cycles=cycles, core_model="ooo",
                 cache_stats=state.cache_stats,

@@ -136,6 +136,10 @@ class RunStats:
         self.compiled_ops = 0
         self.bridges_compiled = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready view (telemetry manifests, reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
 
 class BaseVM:
     """MiniPy interpreter with categorized host-instruction emission."""

@@ -13,6 +13,7 @@ from ..frontend.compiler import Program
 from ..host.address_space import AddressSpace, FreelistAllocator
 from ..host.machine import HostMachine
 from ..objects.model import GuestObject, PyDict, PyList
+from ..telemetry import TELEMETRY
 from .base import BaseVM, Frame
 
 _ALLOC = int(OverheadCategory.OBJECT_ALLOCATION)
@@ -24,6 +25,10 @@ _FREED = -(1 << 40)
 
 #: Refcount above which an object is treated as immortal.
 _IMMORTAL = 1 << 29
+
+#: Dealloc cascades at least this long are worth a telemetry event
+#: (container teardown bursts the paper's allocation category captures).
+_CASCADE_EVENT_THRESHOLD = 16
 
 
 class CPythonVM(BaseVM):
@@ -63,6 +68,8 @@ class CPythonVM(BaseVM):
 
     def _malloc(self, size: int, category: int) -> int:
         m = self.machine
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("cpython.mallocs").inc()
         with m.c_call("obmalloc.call_malloc", "obmalloc.malloc",
                       indirect=False, args=1, saves=1):
             # Freelist pop: load head, load next, store head.
@@ -80,6 +87,8 @@ class CPythonVM(BaseVM):
 
     def _free(self, addr: int, size: int, category: int) -> None:
         m = self.machine
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("cpython.frees").inc()
         with m.c_call("obmalloc.call_free", "obmalloc.free_fn",
                       indirect=False, args=1, saves=1):
             # Freelist push: store next pointer into the block, update head.
@@ -112,6 +121,8 @@ class CPythonVM(BaseVM):
         from ..objects.model import gc_children
         worklist = [root]
         m = self.machine
+        freed_objects = 0
+        freed_bytes = 0
         while worklist:
             obj = worklist.pop()
             if obj.refcount == _FREED or obj.refcount >= _IMMORTAL:
@@ -127,9 +138,17 @@ class CPythonVM(BaseVM):
                     worklist.append(child)
             if isinstance(obj, PyList) and obj.buffer_addr:
                 self._free(obj.buffer_addr, obj.buffer_bytes(), _GC)
+                freed_bytes += obj.buffer_bytes()
             elif isinstance(obj, PyDict) and obj.table_addr:
                 self._free(obj.table_addr, obj.table_bytes(), _GC)
+                freed_bytes += obj.table_bytes()
             self._free(obj.addr, obj.size_bytes(), _GC)
+            freed_objects += 1
+            freed_bytes += obj.size_bytes()
+        if freed_objects >= _CASCADE_EVENT_THRESHOLD and TELEMETRY.enabled:
+            TELEMETRY.events.emit("cpython.dealloc_cascade",
+                                  objects=freed_objects,
+                                  bytes=freed_bytes)
 
     # ------------------------------------------------------------------
     # Frames

@@ -28,6 +28,7 @@ from __future__ import annotations
 from ...categories import OverheadCategory
 from ...config import JITConfig
 from ...frontend.bytecode import Op
+from ...telemetry import TELEMETRY
 
 _COMPILING = int(OverheadCategory.JIT_COMPILING)
 _COMPILED = int(OverheadCategory.JIT_COMPILED_CODE)
@@ -196,6 +197,13 @@ class TraceJIT:
             self._finish_recording()
 
     def _abort_recording(self) -> None:
+        if TELEMETRY.enabled:
+            TELEMETRY.events.emit(
+                "jit.trace_abort", runtime=self.vm.runtime_name,
+                bridge=self._rec_bridge_of is not None,
+                ops=len(self._rec_ops))
+            TELEMETRY.metrics.counter(
+                "jit.trace_aborts", runtime=self.vm.runtime_name).inc()
         if self._rec_bridge_of is not None:
             parent, index = self._rec_bridge_of
             parent.bridges[index] = None  # blacklist this side exit
@@ -222,7 +230,8 @@ class TraceJIT:
         code_base = m.jit_site(f"jit.trace.{self._trace_count}",
                                16 * max(1, len(ops)))
         trace = CompiledTrace(key, ops, code_base, self._rec_is_loop)
-        if self._rec_bridge_of is not None:
+        is_bridge = self._rec_bridge_of is not None
+        if is_bridge:
             parent, index = self._rec_bridge_of
             parent.bridges[index] = trace
             self.vm.stats.bridges_compiled += 1
@@ -230,6 +239,19 @@ class TraceJIT:
             self.traces[key] = trace
         self.vm.stats.traces_compiled += 1
         self.vm.stats.compiled_ops += len(ops)
+        if TELEMETRY.enabled:
+            kind = "bridge" if is_bridge else (
+                "loop" if self._rec_is_loop else "function")
+            TELEMETRY.events.emit(
+                "jit.trace_compile", runtime=self.vm.runtime_name,
+                trace_kind=kind, ops=len(ops),
+                trace_id=self._trace_count)
+            TELEMETRY.metrics.counter(
+                "jit.traces_compiled", runtime=self.vm.runtime_name,
+                kind=kind).inc()
+            TELEMETRY.metrics.histogram(
+                "jit.trace_ops",
+                runtime=self.vm.runtime_name).observe(len(ops))
         self.mode = _IDLE
         self._rec_key = None
         self._rec_ops = []
@@ -332,6 +354,13 @@ class TraceJIT:
         fail_key = (trace.key, index)
         fails = self.guard_fails.get(fail_key, 0) + 1
         self.guard_fails[fail_key] = fails
+        if TELEMETRY.enabled:
+            TELEMETRY.events.emit(
+                "jit.guard_fail", runtime=self.vm.runtime_name,
+                guard_index=index, fails=fails,
+                has_bridge=bridge is not None)
+            TELEMETRY.metrics.counter(
+                "jit.guard_fails", runtime=self.vm.runtime_name).inc()
         m.branch(trace.code_base + 16 * (index & 0x3FFF) + 4, _COMPILED,
                  taken=True)
         self._exec_trace = None
@@ -351,11 +380,21 @@ class TraceJIT:
                         frame.addr + 64 + 8 * (i % 48))
             m.load(self.s_deopt + 20, _COMPILING, trace.code_base)
             self.vm.stats.deopts += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.events.emit(
+                    "jit.deopt", runtime=self.vm.runtime_name,
+                    guard_index=index, live_values=live)
+                TELEMETRY.metrics.counter(
+                    "jit.deopts", runtime=self.vm.runtime_name).inc()
             self.mode = _IDLE
             return
         # This guard keeps failing: record a bridge starting at the
         # divergent operation; iterations stay interpreted while the
         # bridge is being traced.
+        if TELEMETRY.enabled:
+            TELEMETRY.events.emit(
+                "jit.bridge_start", runtime=self.vm.runtime_name,
+                guard_index=index, fails=fails)
         self._start_recording(("bridge", trace.key, index),
                               is_loop=False, bridge_of=(trace, index))
         self._rec_ops.append(actual)

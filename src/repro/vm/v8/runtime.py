@@ -26,6 +26,7 @@ from ...frontend.compiler import Program
 from ...host.address_space import AddressSpace
 from ...host.machine import HostMachine
 from ...objects.model import PyBoundMethod, PyInstance
+from ...telemetry import TELEMETRY
 from ..base import _NEXT, Frame  # type: ignore[attr-defined]
 from ..pypy.interp import PyPyVM
 
@@ -56,6 +57,14 @@ class V8VM(PyPyVM):
         m.load(self.s_ic, _TYPE, obj.addr)           # hidden class (map)
         m.branch(self.s_ic + 4, _TYPE, taken=False)  # map check guard
         m.load(self.s_ic + 8, _NAME, obj.addr + 16)  # fixed-offset slot
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("v8.ic.hit").inc()
+
+    def _note_ic_generic(self, name: str) -> None:
+        """A non-instance receiver fell back to the megamorphic path."""
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("v8.ic.megamorphic").inc()
+            TELEMETRY.events.emit("v8.ic.megamorphic", name=name)
 
     def lookup_global(self, name: str):
         """Globals resolve through a global-property cell IC."""
@@ -91,6 +100,7 @@ class V8VM(PyPyVM):
             return _NEXT
         # Non-instance receivers: restore the stack and use the generic
         # (megamorphic) path of the base handler.
+        self._note_ic_generic(name)
         self.emit_push(frame, obj)
         return super().op_load_attr(frame, arg)
 
@@ -105,6 +115,7 @@ class V8VM(PyPyVM):
             obj.attrs[name] = value
             return _NEXT
         # Restore the stack and defer to the generic handler.
+        self._note_ic_generic(name)
         self.emit_push(frame, value)
         self.emit_push(frame, obj)
         return super().op_store_attr(frame, arg)

@@ -4,12 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro import telemetry
 from repro.config import pypy_runtime, v8_runtime
 from repro.frontend import compile_source
 from repro.host import AddressSpace, HostMachine
 from repro.vm.cpython import CPythonVM
 from repro.vm.pypy import PyPyVM
 from repro.vm.v8 import V8VM
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation(tmp_path, monkeypatch):
+    """Keep manifests in tmp and leave telemetry disabled after a test."""
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "telemetry"))
+    yield
+    telemetry.disable()
 
 
 def run_source(source: str, runtime: str = "cpython", jit: bool = True,
