@@ -23,6 +23,17 @@ from repro.telemetry.export import build_manifest
 _64K = 64 * 1024
 
 
+def _hit_rate(metrics: dict, prefix: str) -> str:
+    hits = sum(v for k, v in metrics.items()
+               if k.startswith(f"{prefix}.hit"))
+    misses = sum(v for k, v in metrics.items()
+                 if k.startswith(f"{prefix}.miss"))
+    total = hits + misses
+    if total == 0:
+        return "no accesses"
+    return f"{hits}/{total} ({100 * hits / total:.0f}% hit)"
+
+
 def test_telemetry_smoke():
     # Start from a clean slate inside the session-wide enablement.
     telemetry.reset()
@@ -31,6 +42,14 @@ def test_telemetry_smoke():
         handle = runner.run("chaos", runtime="pypy", jit=True,
                             nursery=_64K)
         sim = runner.simulate(handle, skylake_config(), core="ooo")
+        # Same run again: in-memory hits. A fresh runner sharing the
+        # cache directory: disk hits (no re-interpretation).
+        runner.run("chaos", runtime="pypy", jit=True, nursery=_64K)
+        runner.simulate(handle, skylake_config(), core="ooo")
+        second = ExperimentRunner(disk_cache=runner.disk_cache)
+        warm = second.run("chaos", runtime="pypy", jit=True,
+                          nursery=_64K)
+        second.simulate(warm, skylake_config(), core="ooo")
 
     tree = render_span_tree(TELEMETRY.tracer.tree(),
                             title="telemetry smoke: quick chaos run "
@@ -47,6 +66,11 @@ def test_telemetry_smoke():
         f"minor GCs         : {events.count('gc.minor.end')}",
         f"JIT traces        : {events.count('jit.trace_compile')}",
         f"guard fails       : {events.count('jit.guard_fail')}",
+        "",
+        "runner caches (1 fresh run + repeat + fresh-runner repeat):",
+        f"  trace cache : {_hit_rate(metrics, 'runner.trace_cache')}",
+        f"  state cache : {_hit_rate(metrics, 'runner.state_cache')}",
+        f"  disk cache  : {_hit_rate(metrics, 'runner.disk_cache')}",
         "",
         "metrics snapshot (excerpt):",
     ]
@@ -65,6 +89,11 @@ def test_telemetry_smoke():
     assert "sim.core" in tree
     assert events.count("gc.minor.end") >= 1
     assert events.count("jit.trace_compile") >= 1
+    # The repeat hit memory; the fresh runner hit disk (when enabled).
+    assert metrics.get("runner.trace_cache.hit{runtime=pypy}", 0) >= 2
+    if runner.disk_cache.enabled:
+        assert metrics.get("runner.disk_cache.hit{kind=trace}", 0) >= 1
+        assert metrics.get("runner.disk_cache.hit{kind=state}", 0) >= 1
     manifest = build_manifest(command="benchmarks.telemetry_smoke")
     assert json.loads(json.dumps(manifest)) == manifest
     assert path.exists()

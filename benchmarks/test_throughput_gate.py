@@ -1,0 +1,79 @@
+"""Memory-side throughput regression gate.
+
+Fails the bench suite when the ``sim.memory_side`` stage (the span the
+telemetry tree attributes cache + branch simulation to) falls below
+half of the checked-in baseline throughput, so a change that quietly
+de-vectorizes the hot loops cannot land unnoticed.
+
+Refresh the baseline on the target machine with one command:
+
+    REPRO_REFRESH_BASELINES=1 python -m pytest \
+        benchmarks/test_throughput_gate.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from conftest import save_text
+
+from repro.config import skylake_config
+from repro.experiments.runner import ExperimentRunner
+from repro.telemetry import TELEMETRY
+from repro.uarch.system import SimulatedSystem
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "throughput.json"
+REFRESH_ENV = "REPRO_REFRESH_BASELINES"
+
+#: Fail when measured throughput drops below this fraction of baseline.
+GATE_FRACTION = 0.5
+
+
+def _measure_instructions_per_second(repeats: int = 3) -> tuple[int, float]:
+    runner = ExperimentRunner(scale=2)
+    handle = runner.run("deltablue", runtime="cpython")
+    system = SimulatedSystem(skylake_config())
+    best = 0.0
+    for _ in range(repeats):
+        system.memory_side(handle.trace)
+        gauge = TELEMETRY.metrics.snapshot().get(
+            "sim.instructions_per_second{stage=memory_side}", 0.0)
+        best = max(best, gauge)
+    return len(handle.trace), best
+
+
+def test_memory_side_throughput_gate():
+    instructions, measured = _measure_instructions_per_second()
+    assert measured > 0, "telemetry gauge missing for sim.memory_side"
+    if os.environ.get(REFRESH_ENV, "").strip() not in ("", "0"):
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps({
+            "sim.memory_side": {
+                "instructions_per_second": measured,
+                "workload": "deltablue",
+                "runtime": "cpython",
+                "scale": 2,
+                "trace_instructions": instructions,
+            }}, indent=2) + "\n")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["sim.memory_side"]["instructions_per_second"] \
+        * GATE_FRACTION
+    save_text("throughput_gate", "\n".join([
+        "memory-side throughput gate (deltablue, cpython, scale 2)",
+        f"trace length : {instructions:,} instructions",
+        f"measured     : {measured:,.0f} instr/s (best of 3)",
+        f"baseline     : "
+        f"{baseline['sim.memory_side']['instructions_per_second']:,.0f}"
+        " instr/s",
+        f"gate         : >= {GATE_FRACTION:.0%} of baseline "
+        f"({floor:,.0f} instr/s)",
+        f"refresh with : {REFRESH_ENV}=1 python -m pytest "
+        "benchmarks/test_throughput_gate.py -q",
+    ]))
+    assert measured >= floor, (
+        f"sim.memory_side throughput {measured:,.0f} instr/s is below "
+        f"{GATE_FRACTION:.0%} of the checked-in baseline "
+        f"({floor:,.0f} instr/s); refresh with {REFRESH_ENV}=1 if the "
+        "machine legitimately changed")

@@ -22,6 +22,7 @@ import sys
 
 from . import telemetry
 from .analysis.report import format_percent, render_span_tree, render_table
+from .categories import OverheadCategory, label_of
 from .config import pypy_runtime, v8_runtime
 from .errors import ReproError
 from .frontend import compile_source
@@ -79,12 +80,25 @@ def cmd_run(args) -> int:
         "guest.instructions", runtime=args.runtime).inc(len(machine.trace))
     for line in vm.output:
         print(line)
+    system = SimulatedSystem()
+    # Memory-side state is core-independent: compute it once and share
+    # it between the OOO timing run and the simple-core attribution run.
+    with TELEMETRY.tracer.span("sim.memory_side", workload=args.file):
+        state = system.memory_side(machine.trace)
     with TELEMETRY.tracer.span("sim.core", workload=args.file,
                                core="ooo"):
-        timing = SimulatedSystem().run(machine.trace, core="ooo")
+        timing = system.run(machine.trace, core="ooo", state=state)
+    with TELEMETRY.tracer.span("sim.core", workload=args.file,
+                               core="simple"):
+        attribution = system.run(machine.trace, core="simple",
+                                 state=state)
     args._manifest_stats = vm.stats.as_dict()
     args._manifest_stats["host_instructions"] = len(machine.trace)
     args._manifest_stats["cycles"] = timing.cycles
+    args._manifest_stats["category_cycles"] = {
+        label_of(OverheadCategory(i)): float(cycles)
+        for i, cycles in enumerate(attribution.category_cycles)
+        if cycles > 0}
     print(f"-- {args.runtime}: {vm.stats.bytecodes} bytecodes, "
           f"{len(machine.trace)} host instructions, "
           f"{timing.cycles:.0f} cycles (CPI {timing.cpi:.2f})",
@@ -137,7 +151,7 @@ def cmd_figure(args) -> int:
     if args.name.startswith("table"):
         print(func())
     else:
-        print(func(quick=not args.full))
+        print(func(quick=not args.full, jobs=args.jobs))
     return 0
 
 
@@ -189,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="table1, table2, fig4 ... fig17")
     p.add_argument("--full", action="store_true",
                    help="full grids instead of quick ones")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for independent cells "
+                        "(default: $REPRO_JOBS or 1; 0 = all cores)")
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the telemetry manifest (JSON) here")
     p.set_defaults(func=cmd_figure)

@@ -61,6 +61,32 @@ class NurseryPoint:
         return self.gc_cycles / self.simple_cycles
 
 
+def sweep_memo_key(workload: str, jit: bool = True, runtime: str = "pypy",
+                   ratios=NURSERY_RATIOS,
+                   config: MachineConfig | None = None,
+                   shift: int = 4,
+                   ratio_base: int | None = None) -> tuple:
+    """Memo key of one :func:`nursery_sweep` call (same signature).
+
+    Exposed so the parallel figure harness can seed the runner's memo
+    with worker-computed sweeps before the serial aggregation loops run.
+    """
+    if config is None:
+        config = scaled_config(shift)
+    llc = ratio_base if ratio_base is not None else config.l3.size
+    return (workload, jit, runtime, tuple(ratios), llc,
+            config.l3.size, config.l2.size, config.l1d.size)
+
+
+def sweep_memo(runner: ExperimentRunner) -> dict:
+    """The runner's nursery-sweep memo, created on first use."""
+    cache = getattr(runner, "_nursery_sweeps", None)
+    if cache is None:
+        cache = {}
+        runner._nursery_sweeps = cache
+    return cache
+
+
 def nursery_sweep(runner: ExperimentRunner, workload: str,
                   jit: bool = True, runtime: str = "pypy",
                   ratios=NURSERY_RATIOS,
@@ -79,12 +105,9 @@ def nursery_sweep(runner: ExperimentRunner, workload: str,
         config = scaled_config(shift)
     llc = ratio_base if ratio_base is not None else config.l3.size
     # Figures 10/11/14/17 request identical sweeps; cache on the runner.
-    cache = getattr(runner, "_nursery_sweeps", None)
-    if cache is None:
-        cache = {}
-        runner._nursery_sweeps = cache
-    key = (workload, jit, runtime, tuple(ratios), llc,
-           config.l3.size, config.l2.size, config.l1d.size)
+    cache = sweep_memo(runner)
+    key = sweep_memo_key(workload, jit, runtime, ratios, config, shift,
+                         ratio_base)
     cached = cache.get(key)
     if cached is not None:
         return cached

@@ -88,32 +88,52 @@ def quick_axes(points: int = 3) -> dict[str, tuple]:
     return trimmed
 
 
+def _variant_cell(runner: ExperimentRunner, label: str, runtime: str,
+                  jit: bool, workload: str, axes: dict, base: MachineConfig,
+                  nursery: int) -> dict[tuple, float]:
+    """One (runtime variant, workload) sweep cell: CPI per axis point.
+
+    The guest trace is generated once and reused across every axis
+    point. Module-level so the parallel fan-out can pickle it.
+    """
+    handle = runner.run(workload, runtime=runtime, jit=jit,
+                        nursery=nursery)
+    cpis: dict[tuple, float] = {}
+    for axis, values in axes.items():
+        for value in values:
+            config = axis_config(base, axis, value)
+            sim = runner.simulate(handle, config, core="ooo")
+            cpis[(axis, label, value)] = sim.cpi
+    return cpis
+
+
 def run_sweep(runner: ExperimentRunner, workloads,
               variants=RUNTIME_VARIANTS,
               axes: dict[str, tuple] | None = None,
               base: MachineConfig | None = None,
-              nursery: int = 1 * MB) -> SweepResult:
+              nursery: int = 1 * MB,
+              jobs: int | None = None) -> SweepResult:
     """Average CPI for each (axis value, runtime variant) pair.
 
-    Loops workload-outer so each guest trace is generated once and
-    reused across every axis point.
+    Independent (variant, workload) cells either run serially
+    (workload-outer, so each guest trace is generated once and reused
+    across every axis point) or fan out over ``jobs`` processes; the
+    per-key accumulation order is identical either way, so the result
+    is bit-for-bit independent of ``jobs``.
     """
     if base is None:
         base = skylake_config()
     if axes is None:
         axes = {name: values for name, (values, _) in SWEEP_AXES.items()}
+    from ..experiments.parallel import fan_out
     result = SweepResult(axes=dict(axes))
+    cells = [(label, runtime, jit, workload, dict(axes), base, nursery)
+             for label, runtime, jit in variants
+             for workload in workloads]
     sums: dict[tuple, float] = {}
-    for label, runtime, jit in variants:
-        for workload in workloads:
-            handle = runner.run(workload, runtime=runtime, jit=jit,
-                                nursery=nursery)
-            for axis, values in axes.items():
-                for value in values:
-                    config = axis_config(base, axis, value)
-                    sim = runner.simulate(handle, config, core="ooo")
-                    key = (axis, label, value)
-                    sums[key] = sums.get(key, 0.0) + sim.cpi
+    for cell_cpis in fan_out(runner, _variant_cell, cells, jobs):
+        for key, cpi in cell_cpis.items():
+            sums[key] = sums.get(key, 0.0) + cpi
     n = len(list(workloads))
     for axis, values in axes.items():
         result.cpi[axis] = {}

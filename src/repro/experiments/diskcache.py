@@ -1,0 +1,214 @@
+"""Persistent content-addressed cache for guest runs and sim states.
+
+The in-memory caches on :class:`~repro.experiments.runner.
+ExperimentRunner` are bounded, so the nursery figure family (Figures
+10-17), which revisits the same (workload, nursery) grid across several
+machine configurations and across *separate* benchmark invocations,
+used to re-interpret every evicted guest. This module spills both
+artifact kinds to disk:
+
+``traces/``
+    one finished guest run per entry: the instruction trace as an
+    uncompressed ``.npz`` plus a JSON sidecar with the
+    :class:`~repro.experiments.runner.RunHandle` metadata (VM stats,
+    site table, captured output, measured window).
+
+``states/``
+    one :class:`~repro.uarch.system.MemorySideState` per entry: service
+    level and mispredict arrays in an ``.npz``, cache/branch counters
+    in the sidecar.
+
+Entries are content-addressed: the file name is the SHA-256 of the
+canonical JSON of every parameter that determines the artifact (run
+parameters for traces; run parameters plus the full machine geometry
+for states) salted with :data:`CACHE_SCHEMA`. Anything that would
+change the bytes changes the key, so there is no invalidation protocol
+beyond "bump the schema when the serialized layout changes" and
+"delete the directory when the simulator's behavior changes".
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    cache root (default ``.repro-cache`` under the working directory).
+``REPRO_CACHE=off``
+    disable the disk cache entirely (``0``/``no``/``false`` also work).
+
+Writes go to a per-process temporary name followed by ``os.replace``,
+so concurrent figure workers sharing one cache directory never observe
+half-written entries — at worst two processes race to write identical
+bytes and the later rename wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..host.trace import InstructionTrace
+from ..uarch.branch import BranchStats
+from ..uarch.cache import CacheStats
+from ..uarch.system import MemorySideState
+
+#: Bump when the on-disk layout (or anything it captures) changes shape.
+CACHE_SCHEMA = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_OFF_VALUES = frozenset({"off", "0", "no", "false"})
+
+#: MemorySideState array fields stored in the ``.npz`` entry.
+_STATE_ARRAYS = ("dlevel", "ilevel", "mispredicted")
+
+
+def cache_root() -> Path | None:
+    """Resolve the cache directory from the environment (None = off)."""
+    toggle = os.environ.get(CACHE_TOGGLE_ENV, "").strip().lower()
+    if toggle in _OFF_VALUES:
+        return None
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+def content_key(params: dict) -> str:
+    """SHA-256 over the canonical JSON of ``params`` plus the schema."""
+    payload = json.dumps({"schema": CACHE_SCHEMA, **params},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, writer) -> None:
+    """Write via ``writer(tmp_path)`` then rename into place."""
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        writer(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    def writer(tmp: Path) -> None:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+
+    _atomic_write(path, writer)
+
+
+class DiskCache:
+    """Content-addressed trace/state store rooted at one directory."""
+
+    def __init__(self, root: str | Path | None | object = "auto") -> None:
+        if root == "auto":
+            root = cache_root()
+        self.root = Path(root) if root is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _paths(self, kind: str, key: str) -> tuple[Path, Path]:
+        directory = self.root / kind
+        return directory / f"{key}.npz", directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Guest runs
+    # ------------------------------------------------------------------
+
+    def load_run(self, key: str):
+        """Rebuild a RunHandle from disk (None on miss or corruption).
+
+        The returned handle carries ``token=0``; the runner assigns a
+        fresh token when it adopts the handle into its caches.
+        """
+        if not self.enabled:
+            return None
+        from .runner import RunHandle
+        npz_path, meta_path = self._paths("traces", key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            trace = InstructionTrace.load(npz_path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        meta["site_table"] = {name: int(pc) for name, pc
+                              in meta.get("site_table", {}).items()}
+        return RunHandle(trace=trace, token=0, **meta)
+
+    def store_run(self, key: str, handle) -> None:
+        if not self.enabled:
+            return
+        npz_path, meta_path = self._paths("traces", key)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "workload": handle.workload,
+            "runtime": handle.runtime,
+            "jit": handle.jit,
+            "nursery": handle.nursery,
+            "site_table": dict(handle.site_table),
+            "bytecodes": handle.bytecodes,
+            "allocations": handle.allocations,
+            "allocated_bytes": handle.allocated_bytes,
+            "minor_gcs": handle.minor_gcs,
+            "major_gcs": handle.major_gcs,
+            "traces_compiled": handle.traces_compiled,
+            "deopts": handle.deopts,
+            "output": list(handle.output),
+            "measure_start": handle.measure_start,
+            "warmup_runs": handle.warmup_runs,
+            "wall_seconds": handle.wall_seconds,
+            "host_instructions": handle.host_instructions,
+        }
+        _atomic_write(
+            npz_path, lambda tmp: handle.trace.save(tmp, compressed=False))
+        _write_json(meta_path, meta)
+
+    # ------------------------------------------------------------------
+    # Memory-side states
+    # ------------------------------------------------------------------
+
+    def load_state(self, key: str) -> MemorySideState | None:
+        if not self.enabled:
+            return None
+        npz_path, meta_path = self._paths("states", key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            with np.load(npz_path) as data:
+                arrays = {name: data[name] for name in _STATE_ARRAYS}
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        cache_stats = {name: CacheStats(**counts)
+                       for name, counts in meta["cache_stats"].items()}
+        return MemorySideState(
+            dlevel=arrays["dlevel"],
+            ilevel=arrays["ilevel"],
+            cache_stats=cache_stats,
+            mem_lines=meta["mem_lines"],
+            mispredicted=arrays["mispredicted"],
+            branch_stats=BranchStats(**meta["branch_stats"]))
+
+    def store_state(self, key: str, state: MemorySideState) -> None:
+        if not self.enabled:
+            return
+        npz_path, meta_path = self._paths("states", key)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "mem_lines": state.mem_lines,
+            "cache_stats": {name: dataclasses.asdict(stats)
+                            for name, stats in state.cache_stats.items()},
+            "branch_stats": dataclasses.asdict(state.branch_stats),
+        }
+
+        def writer(tmp: Path) -> None:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, dlevel=state.dlevel, ilevel=state.ilevel,
+                         mispredicted=state.mispredicted)
+
+        _atomic_write(npz_path, writer)
+        _write_json(meta_path, meta)

@@ -31,6 +31,8 @@ from ..analysis.nursery import (
     normalized,
     nursery_sweep,
     paper_equivalent_label,
+    sweep_memo,
+    sweep_memo_key,
 )
 from ..analysis.report import format_percent, render_series, render_table
 from ..analysis.sweeps import (
@@ -56,6 +58,7 @@ from ..workloads import (
     PYTHON_SUITE,
     SWEEP_BENCHMARKS,
 )
+from .parallel import fan_out
 from .runner import ExperimentRunner
 
 MB = 1024 * 1024
@@ -99,6 +102,76 @@ def _traced(func):
             return func(*args, **kwargs)
 
     return wrapper
+
+
+# ----------------------------------------------------------------------
+# Parallel fan-out cells
+#
+# Each figure's grid loop stays serial (that is where floats are summed,
+# so its order fixes the output bytes); with jobs > 1 the independent
+# (workload, config) cells below are computed first, in worker
+# processes, and their results seeded into the runner's memo/caches.
+# Cells return plain picklable values and are module-level functions so
+# the process pool can ship them.
+# ----------------------------------------------------------------------
+
+def _sweep_cell(runner: ExperimentRunner, kwargs: dict):
+    return nursery_sweep(runner, **kwargs)
+
+
+def _prefetch_sweeps(runner: ExperimentRunner, cells: list[dict],
+                     jobs: int | None) -> None:
+    """Compute nursery sweeps in parallel and seed the runner's memo.
+
+    After this, the figure's serial ``nursery_sweep`` calls are memo
+    hits, so aggregation order — and therefore output bytes — are
+    identical to a fully serial run.
+    """
+    from .parallel import resolve_jobs
+    if resolve_jobs(jobs) <= 1:
+        return
+    memo = sweep_memo(runner)
+    pending = [cell for cell in cells
+               if sweep_memo_key(**cell) not in memo]
+    results = fan_out(runner, _sweep_cell, [(c,) for c in pending], jobs)
+    for cell, points in zip(pending, results):
+        memo[sweep_memo_key(**cell)] = points
+
+
+def _breakdown_cell(runner: ExperimentRunner, workload: str,
+                    runtime: str):
+    """(C-call share) of one workload — Figures 5 and 6."""
+    handle = runner.run(workload, runtime=runtime, jit=True,
+                        nursery=1 * MB)
+    return breakdown_for_run(handle).c_function_call_share
+
+
+def _fig4_cell(runner: ExperimentRunner, workload: str):
+    handle = runner.run(workload, runtime="cpython")
+    of_ccall, of_total = indirect_call_fraction(handle)
+    return breakdown_for_run(handle), of_ccall, of_total
+
+
+def _fig7_phase_cell(runner: ExperimentRunner, workload: str):
+    handle = runner.run(workload, runtime="pypy", jit=True,
+                        nursery=1 * MB)
+    return phase_cpis(handle)
+
+
+def _fig8_cell(runner: ExperimentRunner, workload: str, axis: str,
+               values: tuple, base):
+    handle = runner.run(workload, runtime="pypy", jit=True,
+                        nursery=1 * MB)
+    return [runner.simulate(handle, axis_config(base, axis, value),
+                            core="ooo").cpi
+            for value in values]
+
+
+def _fig13_cell(runner: ExperimentRunner, workload: str, jit: bool,
+                nursery: int, config):
+    handle = runner.run(workload, runtime="pypy", jit=jit,
+                        nursery=nursery)
+    return breakdown_for_run(handle, config).gc_share
 
 
 # ----------------------------------------------------------------------
@@ -161,11 +234,14 @@ def table2() -> FigureResult:
 
 @_traced
 def fig4(runner: ExperimentRunner | None = None, quick: bool = True,
-         ) -> FigureResult:
+         jobs: int | None = None) -> FigureResult:
     """Figure 4: CPython overhead breakdown (language + interpreter)."""
     runner = _runner(runner)
     workloads = BREAKDOWN_QUICK_SUITE if quick else PYTHON_SUITE
-    breakdowns = suite_breakdowns(runner, workloads, runtime="cpython")
+    cells = fan_out(runner, _fig4_cell, [(name,) for name in workloads],
+                    jobs)
+    breakdowns = {name: cell[0]
+                  for name, cell in zip(workloads, cells)}
     averages = average_shares(breakdowns)
 
     def table_for(categories, title):
@@ -195,9 +271,7 @@ def fig4(runner: ExperimentRunner | None = None, quick: bool = True,
         / len(breakdowns)
     # Indirect-call share of the C function call overhead (IV-C.1).
     ind_of_ccall = ind_of_total = 0.0
-    for name in workloads:
-        handle = runner.run(name, runtime="cpython")
-        of_ccall, of_total = indirect_call_fraction(handle)
+    for _, of_ccall, of_total in cells:
         ind_of_ccall += of_ccall
         ind_of_total += of_total
     ind_of_ccall /= len(workloads)
@@ -223,13 +297,11 @@ def fig4(runner: ExperimentRunner | None = None, quick: bool = True,
 
 
 def _ccall_figure(figure_id: str, title: str, runner: ExperimentRunner,
-                  workloads, runtime: str) -> FigureResult:
-    shares = {}
-    for name in workloads:
-        handle = runner.run(name, runtime=runtime, jit=True,
-                            nursery=1 * MB)
-        breakdown = breakdown_for_run(handle)
-        shares[name] = breakdown.c_function_call_share
+                  workloads, runtime: str,
+                  jobs: int | None = None) -> FigureResult:
+    values = fan_out(runner, _breakdown_cell,
+                     [(name, runtime) for name in workloads], jobs)
+    shares = dict(zip(workloads, values))
     average = sum(shares.values()) / len(shares)
     rows = [[name, format_percent(share)]
             for name, share in shares.items()]
@@ -242,24 +314,24 @@ def _ccall_figure(figure_id: str, title: str, runner: ExperimentRunner,
 
 @_traced
 def fig5(runner: ExperimentRunner | None = None, quick: bool = True,
-         ) -> FigureResult:
+         jobs: int | None = None) -> FigureResult:
     """Figure 5: C function call overhead for PyPy (with JIT)."""
     runner = _runner(runner)
     workloads = BREAKDOWN_QUICK_SUITE if quick else PYTHON_SUITE
     return _ccall_figure(
         "fig5", "C function call overhead for PyPy (paper avg: 7.5%)",
-        runner, workloads, "pypy")
+        runner, workloads, "pypy", jobs=jobs)
 
 
 @_traced
 def fig6(runner: ExperimentRunner | None = None, quick: bool = True,
-         ) -> FigureResult:
+         jobs: int | None = None) -> FigureResult:
     """Figure 6: C function call overhead for V8."""
     runner = _runner(runner)
     workloads = _JS_QUICK if quick else JS_SUITE
     return _ccall_figure(
         "fig6", "C function call overhead for V8 (paper avg: 5.6%)",
-        runner, workloads, "v8")
+        runner, workloads, "v8", jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -268,12 +340,12 @@ def fig6(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig7(runner: ExperimentRunner | None = None, quick: bool = True,
-         ) -> FigureResult:
+         jobs: int | None = None) -> FigureResult:
     """Figure 7: average CPI vs microarchitecture parameters."""
     runner = _runner(runner)
     workloads = SWEEP_BENCHMARKS[:4] if quick else SWEEP_BENCHMARKS
     axes = quick_axes() if quick else None
-    sweep = run_sweep(runner, workloads, axes=axes)
+    sweep = run_sweep(runner, workloads, axes=axes, jobs=jobs)
     sections = []
     for axis in sweep.axes:
         labels = [str(v) for v in sweep.axis_values(axis)]
@@ -282,9 +354,9 @@ def fig7(runner: ExperimentRunner | None = None, quick: bool = True,
             sweep.series(axis)))
     # PyPy-with-JIT phase breakdown at the baseline machine.
     phase_sums: dict[str, float] = {}
-    for name in workloads:
-        handle = runner.run(name, runtime="pypy", jit=True, nursery=1 * MB)
-        for phase, cpi in phase_cpis(handle).items():
+    for per_workload in fan_out(runner, _fig7_phase_cell,
+                                [(name,) for name in workloads], jobs):
+        for phase, cpi in per_workload.items():
             phase_sums[phase] = phase_sums.get(phase, 0.0) + cpi
     phases = {k: v / len(workloads) for k, v in phase_sums.items()}
     sections.append(render_table(
@@ -298,26 +370,25 @@ def fig7(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig8(runner: ExperimentRunner | None = None, quick: bool = True,
-         ) -> FigureResult:
+         jobs: int | None = None) -> FigureResult:
     """Figure 8: per-benchmark CPI sweeps for PyPy with JIT."""
     runner = _runner(runner)
     workloads = SWEEP_BENCHMARKS[:4] if quick else SWEEP_BENCHMARKS
     axes = quick_axes() if quick else {
         name: values for name, (values, _) in SWEEP_AXES.items()}
     base = skylake_config()
+    cells = [(workload, axis, values, base)
+             for axis, values in axes.items()
+             for workload in workloads]
+    results = fan_out(runner, _fig8_cell, cells, jobs)
+    cpis_by_cell = {(axis, workload): cpis
+                    for (workload, axis, _, _), cpis
+                    in zip(cells, results)}
     sections = []
     data: dict[str, dict[str, list[float]]] = {}
     for axis, values in axes.items():
-        series: dict[str, list[float]] = {}
-        for workload in workloads:
-            handle = runner.run(workload, runtime="pypy", jit=True,
-                                nursery=1 * MB)
-            cpis = []
-            for value in values:
-                sim = runner.simulate(
-                    handle, axis_config(base, axis, value), core="ooo")
-                cpis.append(sim.cpi)
-            series[workload] = cpis
+        series = {workload: cpis_by_cell[(axis, workload)]
+                  for workload in workloads}
         data[axis] = series
         sections.append(render_series(
             f"Figure 8 ({axis}): per-benchmark CPI, PyPy w/ JIT",
@@ -328,13 +399,14 @@ def fig8(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig9(runner: ExperimentRunner | None = None, quick: bool = True,
-         ) -> FigureResult:
+         jobs: int | None = None) -> FigureResult:
     """Figure 9: average CPI sweeps for V8."""
     runner = _runner(runner)
     workloads = _JS_QUICK[:4] if quick else JS_SUITE
     axes = quick_axes() if quick else None
     sweep = run_sweep(runner, workloads,
-                      variants=(("v8", "v8", True),), axes=axes)
+                      variants=(("v8", "v8", True),), axes=axes,
+                      jobs=jobs)
     sections = []
     for axis in sweep.axes:
         labels = [str(v) for v in sweep.axis_values(axis)]
@@ -365,12 +437,15 @@ def _nursery_workloads(quick: bool):
 
 @_traced
 def fig10(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 10: LLC miss rate as a function of nursery size."""
     runner = _nursery_runner(runner)
     ratios = _nursery_ratios(quick)
     workloads = _nursery_workloads(quick)
     config = scaled_config(NURSERY_SHIFT)
+    _prefetch_sweeps(runner,
+                     [dict(workload=w, jit=True, ratios=ratios,
+                           config=config) for w in workloads], jobs)
     sums = [0.0] * len(ratios)
     for workload in workloads:
         points = nursery_sweep(runner, workload, jit=True, ratios=ratios,
@@ -396,12 +471,15 @@ def fig10(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig11(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 11: GC / non-GC / overall time vs nursery size."""
     runner = _nursery_runner(runner)
     ratios = _nursery_ratios(quick)
     workloads = _nursery_workloads(quick)
     config = scaled_config(NURSERY_SHIFT)
+    _prefetch_sweeps(runner,
+                     [dict(workload=w, jit=True, ratios=ratios,
+                           config=config) for w in workloads], jobs)
     gc = [0.0] * len(ratios)
     nongc = [0.0] * len(ratios)
     overall = [0.0] * len(ratios)
@@ -428,7 +506,7 @@ def fig11(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig12(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 12: nursery sweep for run-time configs and LLC sizes."""
     runner = _nursery_runner(runner)
     ratios = _nursery_ratios(quick)
@@ -442,6 +520,11 @@ def fig12(runner: ExperimentRunner | None = None, quick: bool = True,
         ("w/ JIT 8MB LLC", True,
          scaled_config(NURSERY_SHIFT).with_llc_size(base_llc * 4)),
     ]
+    _prefetch_sweeps(runner,
+                     [dict(workload=w, jit=jit, ratios=ratios,
+                           config=config, ratio_base=base_llc)
+                      for _, jit, config in configs
+                      for w in workloads], jobs)
     series: dict[str, list[float]] = {}
     for label, jit, config in configs:
         sums = [0.0] * len(ratios)
@@ -465,23 +548,26 @@ def fig12(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig13(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 13: GC time as a percentage of execution, w/o vs w/ JIT."""
     runner = _nursery_runner(runner)
     workloads = _nursery_workloads(quick) if quick else PYTHON_SUITE
     config = scaled_config(NURSERY_SHIFT)
     nursery = config.l3.size // 2
+    variants = (("nojit", False), ("jit", True))
+    cells = [(workload, jit, nursery, config)
+             for workload in workloads
+             for _, jit in variants]
+    gc_shares = fan_out(runner, _fig13_cell, cells, jobs)
     rows = []
     shares = {"nojit": {}, "jit": {}}
+    for (workload, _, _, _), (key, _), gc_share in zip(
+            cells, list(variants) * len(workloads), gc_shares):
+        shares[key][workload] = gc_share
     for workload in workloads:
-        row = [workload]
-        for key, jit in (("nojit", False), ("jit", True)):
-            handle = runner.run(workload, runtime="pypy", jit=jit,
-                                nursery=nursery)
-            breakdown = breakdown_for_run(handle, config)
-            shares[key][workload] = breakdown.gc_share
-            row.append(format_percent(breakdown.gc_share))
-        rows.append(row)
+        rows.append([workload,
+                     format_percent(shares["nojit"][workload]),
+                     format_percent(shares["jit"][workload])])
     avg_nojit = sum(shares["nojit"].values()) / len(workloads)
     avg_jit = sum(shares["jit"].values()) / len(workloads)
     rows.append(["AVG", format_percent(avg_nojit),
@@ -496,11 +582,15 @@ def fig13(runner: ExperimentRunner | None = None, quick: bool = True,
 
 def _per_benchmark_nursery(figure_id: str, title: str, jit: bool,
                            runner: ExperimentRunner | None,
-                           quick: bool) -> FigureResult:
+                           quick: bool,
+                           jobs: int | None = None) -> FigureResult:
     runner = _nursery_runner(runner)
     ratios = _nursery_ratios(quick)
     workloads = _nursery_workloads(quick)
     config = scaled_config(NURSERY_SHIFT)
+    _prefetch_sweeps(runner,
+                     [dict(workload=w, jit=jit, ratios=ratios,
+                           config=config) for w in workloads], jobs)
     series: dict[str, list[float]] = {}
     for workload in workloads:
         points = nursery_sweep(runner, workload, jit=jit, ratios=ratios,
@@ -514,33 +604,41 @@ def _per_benchmark_nursery(figure_id: str, title: str, jit: bool,
 
 @_traced
 def fig14(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 14: per-benchmark nursery sweep, PyPy with JIT."""
     return _per_benchmark_nursery(
         "fig14", "Figure 14: normalized time vs nursery (PyPy w/ JIT)",
-        True, runner, quick)
+        True, runner, quick, jobs=jobs)
 
 
 @_traced
 def fig15(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 15: per-benchmark nursery sweep, PyPy without JIT."""
     return _per_benchmark_nursery(
         "fig15", "Figure 15: normalized time vs nursery (PyPy w/o JIT)",
-        False, runner, quick)
+        False, runner, quick, jobs=jobs)
 
 
 @_traced
 def fig16(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 16: nursery sweep for V8 with different LLC sizes."""
     runner = _runner(runner, scale=1)
     ratios = _nursery_ratios(quick)
     workloads = _JS_QUICK[:4] if quick else _JS_QUICK
     base_llc = scaled_config(NURSERY_SHIFT).l3.size
+    llc_points = (("2MB LLC", 1), ("4MB LLC", 2), ("8MB LLC", 4))
+    _prefetch_sweeps(runner,
+                     [dict(workload=w, jit=True, runtime="v8",
+                           ratios=ratios,
+                           config=scaled_config(NURSERY_SHIFT)
+                           .with_llc_size(base_llc * multiplier),
+                           ratio_base=base_llc)
+                      for _, multiplier in llc_points
+                      for w in workloads], jobs)
     series: dict[str, list[float]] = {}
-    for label, multiplier in (("2MB LLC", 1), ("4MB LLC", 2),
-                              ("8MB LLC", 4)):
+    for label, multiplier in llc_points:
         config = scaled_config(NURSERY_SHIFT).with_llc_size(
             base_llc * multiplier)
         sums = [0.0] * len(ratios)
@@ -562,12 +660,15 @@ def fig16(runner: ExperimentRunner | None = None, quick: bool = True,
 
 @_traced
 def fig17(runner: ExperimentRunner | None = None, quick: bool = True,
-          ) -> FigureResult:
+          jobs: int | None = None) -> FigureResult:
     """Figure 17: best nursery size per application."""
     runner = _nursery_runner(runner)
     ratios = _nursery_ratios(quick)
     workloads = _nursery_workloads(quick)
     config = scaled_config(NURSERY_SHIFT)
+    _prefetch_sweeps(runner,
+                     [dict(workload=w, jit=True, ratios=ratios,
+                           config=config) for w in workloads], jobs)
     sweeps = {}
     for workload in workloads:
         sweeps[workload] = nursery_sweep(runner, workload, jit=True,

@@ -1,0 +1,110 @@
+"""Process-pool fan-out for independent experiment cells.
+
+The figure harnesses iterate grids of independent (workload, config)
+cells; :func:`fan_out` distributes those cells over a
+``ProcessPoolExecutor`` while keeping three invariants the serial loops
+rely on:
+
+* **Determinism** — results come back in submission order (``map``),
+  and each cell function is a pure function of its arguments plus the
+  runner's construction parameters, so figure aggregation code sees
+  exactly the sequence a serial loop would produce.
+* **Telemetry** — each worker resets the metrics registry it inherited
+  over ``fork`` (otherwise the parent's pre-fork counts would be merged
+  back in again, double-counting), runs its cell, then ships a
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.dump` back with the
+  result. The parent merges every dump so the run manifest covers the
+  whole fan-out. Spans stay per-process; counters and histograms are
+  what the bench assertions read.
+* **Cache sharing** — workers build their own
+  :class:`~repro.experiments.runner.ExperimentRunner` from
+  :meth:`~repro.experiments.runner.ExperimentRunner.spawn_params`, so
+  they inherit the parent's scale and its disk-cache root. Guest runs
+  and memory-side states a worker computes are write-through persisted,
+  which is how parallel work becomes visible to the parent (and to the
+  next invocation) without shipping multi-megabyte traces over pipes.
+
+Cell functions must be module-level (picklable) and take the worker's
+runner as their first argument: ``fn(runner, *args)``.
+
+``--jobs``/:data:`JOBS_ENV` semantics: ``1`` (default) runs serial in
+the calling process, ``N > 1`` uses ``N`` workers, ``0`` means one
+worker per CPU.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from ..errors import ExperimentError
+from ..telemetry import TELEMETRY
+
+JOBS_ENV = "REPRO_JOBS"
+
+#: Worker-global runner, built once per process by :func:`_init_worker`.
+_WORKER_RUNNER = None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Turn a ``--jobs`` value (or None = consult the env) into a count."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ExperimentError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}") from None
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _init_worker(runner_params: dict, telemetry_on: bool) -> None:
+    global _WORKER_RUNNER
+    from .. import telemetry as telemetry_mod
+    if telemetry_on:
+        telemetry_mod.enable()
+    # Forked workers inherit the parent's registry contents; reset so the
+    # dump shipped back contains only this worker's own increments.
+    TELEMETRY.metrics.reset()
+    from .runner import ExperimentRunner
+    _WORKER_RUNNER = ExperimentRunner(**runner_params)
+
+
+def _run_cell(payload):
+    fn, args = payload
+    result = fn(_WORKER_RUNNER, *args)
+    dump = TELEMETRY.metrics.dump()
+    TELEMETRY.metrics.reset()
+    return result, dump
+
+
+def fan_out(runner, fn, items, jobs: int | None = None) -> list:
+    """Run ``fn(runner, *args)`` for each args-tuple in ``items``.
+
+    With one job (or one item) this is a plain serial loop on the
+    caller's runner — no processes, no pickling. Otherwise cells run in
+    a fork-context pool and results return in submission order.
+    """
+    items = [tuple(args) for args in items]
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(runner, *args) for args in items]
+    params = runner.spawn_params()
+    context = multiprocessing.get_context("fork")
+    results = []
+    with ProcessPoolExecutor(
+            max_workers=min(jobs, len(items)), mp_context=context,
+            initializer=_init_worker,
+            initargs=(params, TELEMETRY.enabled)) as pool:
+        for result, dump in pool.map(
+                _run_cell, [(fn, args) for args in items]):
+            TELEMETRY.metrics.merge(dump)
+            results.append(result)
+    return results

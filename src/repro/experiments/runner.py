@@ -5,6 +5,14 @@ branch, and core models re-run; the guest does not), and sweep run-time
 parameters (nursery size, JIT on/off) by re-running the guest. The
 runner caches a bounded number of recent traces so figure harnesses can
 loop workload-outer / config-inner without re-interpreting.
+
+Both in-memory caches are backed by a write-through persistent
+:class:`~repro.experiments.diskcache.DiskCache`: every fresh guest run
+and memory-side state is also stored on disk, and a memory miss
+consults disk before re-computing. Repeated benchmark invocations —
+and parallel figure workers, which share the cache directory —
+therefore skip double interpretation entirely. ``REPRO_CACHE=off``
+restores the purely in-memory behavior.
 """
 
 from __future__ import annotations
@@ -33,8 +41,26 @@ from ..vm.pypy import PyPyVM
 from ..vm.v8 import V8VM
 from ..vm.v8.workloads import js_source
 from ..workloads import get_workload
+from .diskcache import DiskCache, content_key
 
 _MB = 1024 * 1024
+
+
+def memory_side_key(config: MachineConfig) -> tuple:
+    """Everything a :class:`MemorySideState` depends on.
+
+    The cache simulation reads each level's geometry (size, ways, line
+    size) and the branch simulation reads the predictor table shapes;
+    latencies, bandwidth, and core parameters only enter the *core*
+    models, so they are deliberately excluded — a latency sweep over one
+    trace reuses a single memory-side state.
+    """
+    branch = config.branch
+    return tuple(
+        (level.size, level.ways, level.line_size)
+        for level in (config.l1i, config.l1d, config.l2, config.l3)
+    ) + ((branch.l1_entries, branch.history_bits, branch.l2_entries,
+          branch.btb_entries, branch.scale),)
 
 
 @dataclass
@@ -57,6 +83,8 @@ class RunHandle:
     output: list[str]
     #: Trace row where the measured (post-warmup) execution begins.
     measure_start: int = 0
+    #: Warmup executions that preceded the measured run (disk-cache key).
+    warmup_runs: int = 0
     #: Monotonic per-handle token; the runner's state cache keys on it
     #: (``id(trace)`` is unsafe: ids are reused after eviction frees a
     #: trace, which silently aliased MemorySideStates across runs).
@@ -85,12 +113,27 @@ def _runtime_config(runtime: str, jit: bool, nursery: int) -> RuntimeConfig:
 class ExperimentRunner:
     """Runs workloads and caches (trace, memory-side) results."""
 
+    #: Default in-memory cache sizes. The nursery figure family is the
+    #: sizing constraint: Figure 12 touches 4 configs x 4 workloads x 5
+    #: ratios = up to 20 live traces and 80 states per quick run (the
+    #: seed's 4/12 thrashed both caches, see
+    #: benchmarks/results/telemetry_smoke.txt).
+    TRACE_CACHE_SIZE = 16
+    STATE_CACHE_SIZE = 48
+
     def __init__(self, scale: int = 1, max_instructions: int = 120_000_000,
-                 trace_cache_size: int = 4,
-                 state_cache_size: int = 12,
-                 metrics_out: str | None = None) -> None:
+                 trace_cache_size: int = TRACE_CACHE_SIZE,
+                 state_cache_size: int = STATE_CACHE_SIZE,
+                 metrics_out: str | None = None,
+                 jobs: int | None = None,
+                 disk_cache: DiskCache | None = None) -> None:
         self.scale = scale
         self.max_instructions = max_instructions
+        #: Default worker count for :meth:`run_many`/:meth:`simulate_many`
+        #: (None = consult ``REPRO_JOBS``, then serial).
+        self.jobs = jobs
+        self.disk_cache = disk_cache if disk_cache is not None \
+            else DiskCache()
         self._traces: OrderedDict[tuple, RunHandle] = OrderedDict()
         self._states: OrderedDict[tuple, MemorySideState] = OrderedDict()
         self._trace_cache_size = trace_cache_size
@@ -143,7 +186,16 @@ class ExperimentRunner:
             self._traces.move_to_end(key)
             metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
             return handle
+        disk_key = content_key(self._trace_key_params(*key[:4],
+                                                      warmup_runs))
+        cached = self.disk_cache.load_run(disk_key)
+        if cached is not None:
+            metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
+            metrics.counter("runner.disk_cache.hit", kind="trace").inc()
+            return self._adopt_handle(key, cached)
         metrics.counter("runner.trace_cache.miss", runtime=runtime).inc()
+        if self.disk_cache.enabled:
+            metrics.counter("runner.disk_cache.miss", kind="trace").inc()
         program = self._program(workload, runtime)
         space = AddressSpace(nursery_size=max(nursery, 16 * 1024))
         machine = HostMachine(space, max_instructions=self.max_instructions)
@@ -178,6 +230,7 @@ class ExperimentRunner:
             minor_gcs=stats.minor_gcs, major_gcs=stats.major_gcs,
             traces_compiled=stats.traces_compiled, deopts=stats.deopts,
             output=list(vm.output), measure_start=measure_start,
+            warmup_runs=warmup_runs,
             token=self._next_token, wall_seconds=wall_seconds,
             host_instructions=len(machine.trace))
         self._next_token += 1
@@ -188,40 +241,84 @@ class ExperimentRunner:
             _, evicted = self._traces.popitem(last=False)
             self._retired_trace_ids.add(id(evicted.trace))
         self.last_handle = handle
+        self.disk_cache.store_run(disk_key, handle)
         if self.metrics_out is not None:
             self.write_manifest(self.metrics_out)
+        return handle
+
+    def _trace_key_params(self, workload: str, runtime: str, jit: bool,
+                          nursery: int, warmup_runs: int) -> dict:
+        """Disk-cache identity of one guest run (see diskcache docs)."""
+        return {
+            "kind": "trace", "workload": workload, "runtime": runtime,
+            "jit": jit, "nursery": nursery, "scale": self.scale,
+            "warmup_runs": warmup_runs,
+            "max_instructions": self.max_instructions,
+        }
+
+    def _adopt_handle(self, key: tuple, handle: RunHandle) -> RunHandle:
+        """Insert an externally produced handle (disk or worker) as if
+        this runner had run it: fresh token, normal eviction."""
+        handle.token = self._next_token
+        self._next_token += 1
+        self._traces[key] = handle
+        while len(self._traces) > self._trace_cache_size:
+            _, evicted = self._traces.popitem(last=False)
+            self._retired_trace_ids.add(id(evicted.trace))
+        self.last_handle = handle
         return handle
 
     # ------------------------------------------------------------------
     # Microarchitecture simulation
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _config_key(config: MachineConfig) -> tuple:
-        return (config.l1i.size, config.l1d.size, config.l2.size,
-                config.l3.size, config.l1d.line_size, config.l3.ways,
-                config.branch.scale, config.branch.l1_entries)
+    #: The full memory-side geometry. An earlier revision keyed on a
+    #: hand-picked subset (no L1/L2 ways, no history/L2/BTB shapes), so
+    #: states silently aliased across configs differing only in those.
+    _config_key = staticmethod(memory_side_key)
+
+    def _state_key_params(self, handle: RunHandle,
+                          config: MachineConfig) -> dict:
+        params = self._trace_key_params(
+            handle.workload, handle.runtime, handle.jit, handle.nursery,
+            handle.warmup_runs)
+        params["kind"] = "state"
+        params["machine"] = memory_side_key(config)
+        return params
 
     def memory_side(self, handle: RunHandle, config: MachineConfig,
                     ) -> MemorySideState:
         """Cache + branch simulation for one (run, machine) pair."""
-        key = (handle.token, self._config_key(config))
+        key = (handle.token, memory_side_key(config))
         state = self._states.get(key)
         metrics = TELEMETRY.metrics
         if state is not None:
             self._states.move_to_end(key)
             metrics.counter("runner.state_cache.hit").inc()
             return state
+        disk_key = content_key(self._state_key_params(handle, config))
+        state = self.disk_cache.load_state(disk_key)
+        if state is not None:
+            metrics.counter("runner.state_cache.hit").inc()
+            metrics.counter("runner.disk_cache.hit", kind="state").inc()
+            self._store_state(key, state)
+            return state
         metrics.counter("runner.state_cache.miss").inc()
+        if self.disk_cache.enabled:
+            metrics.counter("runner.disk_cache.miss", kind="state").inc()
         with TELEMETRY.tracer.span("sim.memory_side",
                                    workload=handle.workload,
                                    runtime=handle.runtime):
             system = SimulatedSystem(config)
             state = system.memory_side(handle.trace)
+        self._store_state(key, state)
+        self.disk_cache.store_state(disk_key, state)
+        return state
+
+    def _store_state(self, key: tuple, state: MemorySideState) -> None:
         self._states[key] = state
         while len(self._states) > self._state_cache_size:
             self._states.popitem(last=False)
-        return state
 
     def simulate(self, handle: RunHandle, config: MachineConfig,
                  core: str = "ooo"):
@@ -231,6 +328,71 @@ class ExperimentRunner:
                                    runtime=handle.runtime, core=core):
             system = SimulatedSystem(config)
             return system.run(handle.trace, core=core, state=state)
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+    # ------------------------------------------------------------------
+
+    def spawn_params(self) -> dict:
+        """Constructor kwargs for a worker-process clone of this runner.
+
+        ``metrics_out`` is omitted (only the parent writes manifests)
+        and the disk cache is shared so worker results persist where the
+        parent and later invocations will look for them.
+        """
+        return {
+            "scale": self.scale,
+            "max_instructions": self.max_instructions,
+            "trace_cache_size": self._trace_cache_size,
+            "state_cache_size": self._state_cache_size,
+            "disk_cache": self.disk_cache,
+        }
+
+    def _normalized_key(self, request: dict) -> tuple:
+        workload = request["workload"]
+        runtime = request.get("runtime", "cpython")
+        jit = request.get("jit", True)
+        nursery = request.get("nursery", 1 * _MB)
+        warmup_runs = request.get("warmup_runs", 0)
+        if runtime == "cpython":
+            jit = False
+            nursery = 0
+        return (workload, runtime, jit, nursery, self.scale, warmup_runs)
+
+    def run_many(self, requests, jobs: int | None = None,
+                 ) -> list[RunHandle]:
+        """Execute many guest runs, fanning out across processes.
+
+        ``requests`` is an iterable of :meth:`run` keyword dicts.
+        Returns the handles in request order, adopted into this
+        runner's caches exactly as serial :meth:`run` calls would be.
+        """
+        from .parallel import fan_out
+        requests = [dict(request) for request in requests]
+        results = fan_out(self, _run_cell, [(r,) for r in requests],
+                          jobs if jobs is not None else self.jobs)
+        handles = []
+        for request, handle in zip(requests, results):
+            key = self._normalized_key(request)
+            existing = self._traces.get(key)
+            if existing is None:
+                existing = self._adopt_handle(key, handle)
+            handles.append(existing)
+        return handles
+
+    def simulate_many(self, cells, core: str = "ooo",
+                      jobs: int | None = None) -> list:
+        """Timing results for many (run-request, machine-config) cells.
+
+        Each cell is ``(request_dict, MachineConfig)``; results come
+        back in cell order, so aggregation code sees the same sequence
+        a serial loop would produce.
+        """
+        from .parallel import fan_out
+        items = [(dict(request), config, core)
+                 for request, config in cells]
+        return fan_out(self, _simulate_cell, items,
+                       jobs if jobs is not None else self.jobs)
 
     # ------------------------------------------------------------------
     # Telemetry export
@@ -261,6 +423,20 @@ class ExperimentRunner:
             "max_instructions": self.max_instructions,
             "trace_cache_size": self._trace_cache_size,
             "state_cache_size": self._state_cache_size,
+            "disk_cache": str(self.disk_cache.root)
+            if self.disk_cache.enabled else None,
         }
         return write_manifest(path, command="experiments.runner",
                               config=config, stats=stats)
+
+
+def _run_cell(runner: ExperimentRunner, request: dict) -> RunHandle:
+    """Worker cell for :meth:`ExperimentRunner.run_many`."""
+    return runner.run(**request)
+
+
+def _simulate_cell(runner: ExperimentRunner, request: dict,
+                   config: MachineConfig, core: str):
+    """Worker cell for :meth:`ExperimentRunner.simulate_many`."""
+    handle = runner.run(**request)
+    return runner.simulate(handle, config, core=core)

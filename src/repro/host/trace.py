@@ -90,9 +90,16 @@ class InstructionTrace:
             return np.zeros(32, dtype=np.int64)
         return np.bincount(self.column("category"), minlength=32)
 
-    def save(self, path: str | Path) -> None:
-        """Persist the trace to an ``.npz`` file."""
-        np.savez_compressed(Path(path), **self.arrays())
+    def save(self, path: str | Path, compressed: bool = True) -> None:
+        """Persist the trace to an ``.npz`` file.
+
+        ``compressed=False`` trades disk for speed — the disk cache uses
+        it because traces are written once and re-read many times, and
+        deflate dominates the store cost on multi-megabyte traces.
+        """
+        saver = np.savez_compressed if compressed else np.savez
+        with open(path, "wb") as handle:
+            saver(handle, **self.arrays())
 
     @classmethod
     def load(cls, path: str | Path) -> "InstructionTrace":

@@ -166,6 +166,50 @@ class MetricsRegistry:
             out[_render_name(name, label_key)] = metric.snapshot()
         return dict(sorted(out.items()))
 
+    def dump(self) -> dict:
+        """Serializable full state, suitable for :meth:`merge`.
+
+        Worker processes dump their registry and ship it back to the
+        parent, which merges it so fan-out runs produce one combined
+        manifest.
+        """
+        metrics = []
+        for (name, label_key), metric in self._metrics.items():
+            entry: dict[str, object] = {"name": name,
+                                        "labels": list(label_key),
+                                        "kind": metric.kind}
+            if metric.kind == "histogram":
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+                entry["buckets"] = dict(metric.buckets)
+            else:
+                entry["value"] = metric.value
+            metrics.append(entry)
+        return {"metrics": metrics}
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` into this registry.
+
+        Counters and histograms accumulate; gauges keep the dumped
+        value (last writer wins, matching serial execution where the
+        most recent ``set`` sticks).
+        """
+        for entry in dump.get("metrics", []):
+            labels = {key: value for key, value in entry["labels"]}
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(entry["name"], **labels)
+                histogram.count += entry["count"]
+                histogram.sum += entry["sum"]
+                for exponent, count in entry["buckets"].items():
+                    exponent = int(exponent)
+                    histogram.buckets[exponent] = \
+                        histogram.buckets.get(exponent, 0) + count
+
 
 class _NullMetric:
     """Accepts every update, records nothing."""
@@ -217,6 +261,12 @@ class NullRegistry:
 
     def snapshot(self) -> dict:
         return {}
+
+    def dump(self) -> dict:
+        return {"metrics": []}
+
+    def merge(self, dump: dict) -> None:
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

@@ -78,13 +78,20 @@ class SimulatedSystem:
                 "sim.instructions_per_second",
                 stage=stage).set(instructions / elapsed)
 
-    def memory_side(self, trace: InstructionTrace) -> MemorySideState:
-        """Run cache hierarchy and branch predictor over the trace."""
+    def memory_side(self, trace: InstructionTrace,
+                    backend: str | None = None) -> MemorySideState:
+        """Run cache hierarchy and branch predictor over the trace.
+
+        ``backend`` selects the simulation engine (``auto``/``vector``/
+        ``scalar``); by default the ``REPRO_SIM_BACKEND`` environment
+        variable decides, falling back to ``auto``.
+        """
         start = time.perf_counter() if TELEMETRY.enabled else 0.0
         arrays = trace.arrays()
-        cache_result = simulate_cache_hierarchy(arrays, self.config)
+        cache_result = simulate_cache_hierarchy(arrays, self.config,
+                                                backend=backend)
         mispredicted, branch_stats = simulate_branches(
-            arrays, self.config.branch)
+            arrays, self.config.branch, backend=backend)
         if TELEMETRY.enabled:
             self._note_throughput("memory_side", len(trace),
                                   time.perf_counter() - start)

@@ -217,9 +217,17 @@ class BaseVM:
     def _init_immortals(self) -> None:
         """Place singletons and caches in the VM data region."""
         space = self.machine.space
+        # The singletons are module-global objects; restore their pristine
+        # state (fresh address, unit refcount) for every VM so a run's
+        # trace depends only on its own inputs. Carrying addr/refcount
+        # over from a previous VM in the same process made the first run
+        # lay out vm_data — and free objects at teardown — differently
+        # from every later one, breaking byte-for-byte reproducibility
+        # across processes and disk-cache hits.
         for obj in (NONE, TRUE, FALSE):
-            if obj.addr == 0:
-                obj.addr = space.vm_data.bump(obj.size_bytes())
+            obj.addr = space.vm_data.bump(obj.size_bytes())
+            obj.refcount = 1
+            obj.gc_age = 0
         for value in range(SMALL_INT_MIN, SMALL_INT_MAX + 1):
             boxed = PyInt(value)
             boxed.addr = space.vm_data.bump(boxed.size_bytes())

@@ -89,6 +89,11 @@ class TraceJIT:
         self.mode = _IDLE
         self.loop_counters: dict[tuple, int] = {}
         self.call_counters: dict[int, int] = {}
+        #: Loop-header key -> modeled hot-counter slot offset, assigned
+        #: in first-touch order. Keys contain ``id(code)``, so deriving
+        #: the modeled address from ``hash(key)`` (as an earlier
+        #: revision did) made the trace differ from run to run.
+        self._counter_slots: dict[tuple, int] = {}
         #: key -> CompiledTrace, or None when blacklisted.
         self.traces: dict[tuple, CompiledTrace | None] = {}
         self.guard_fails: dict[tuple, int] = {}
@@ -143,8 +148,10 @@ class TraceJIT:
         self.loop_counters[key] = count
         # Counter bookkeeping: a load, an increment, a threshold compare.
         m = self.machine
+        slot = self._counter_slots.setdefault(
+            key, 8 * len(self._counter_slots))
         m.load(self.s_record + 20, _COMPILING, m.space.vm_data.base
-               + 0x6000 + (hash(key) & 0xFFF8))
+               + 0x6000 + (slot & 0xFFF8))
         m.alu(self.s_record + 24, _COMPILING, n=1)
         m.branch(self.s_record + 28, _COMPILING,
                  taken=count >= self.config.hot_loop_threshold)

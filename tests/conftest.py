@@ -15,8 +15,14 @@ from repro.vm.v8 import V8VM
 
 @pytest.fixture(autouse=True)
 def _telemetry_isolation(tmp_path, monkeypatch):
-    """Keep manifests in tmp and leave telemetry disabled after a test."""
+    """Keep manifests and the disk cache in tmp; disable telemetry after.
+
+    Pointing REPRO_CACHE_DIR at a per-test directory keeps tests
+    hermetic: no reuse of (possibly stale) cached runs from a
+    developer's working tree, and no ``.repro-cache`` litter.
+    """
     monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "telemetry"))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     yield
     telemetry.disable()
 

@@ -1,0 +1,172 @@
+"""Persistent on-disk run cache: round trips, keys, and corruption."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config, skylake_config
+from repro.experiments.diskcache import (
+    CACHE_DIR_ENV,
+    CACHE_TOGGLE_ENV,
+    DiskCache,
+    cache_root,
+    content_key,
+)
+from repro.experiments.runner import ExperimentRunner, memory_side_key
+from repro.telemetry import TELEMETRY
+
+
+def fresh_runner(tmp_path, name="cache"):
+    return ExperimentRunner(disk_cache=DiskCache(tmp_path / name))
+
+
+def test_content_key_is_order_insensitive_and_value_sensitive():
+    a = content_key({"x": 1, "y": 2})
+    b = content_key({"y": 2, "x": 1})
+    c = content_key({"x": 1, "y": 3})
+    assert a == b
+    assert a != c
+
+
+def test_cache_root_env_knobs(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "explicit"))
+    assert cache_root() == tmp_path / "explicit"
+    monkeypatch.setenv(CACHE_TOGGLE_ENV, "off")
+    assert cache_root() is None
+    assert not DiskCache().enabled
+    monkeypatch.setenv(CACHE_TOGGLE_ENV, "0")
+    assert cache_root() is None
+
+
+def test_run_round_trip_is_bit_identical(tmp_path):
+    writer = fresh_runner(tmp_path)
+    original = writer.run("chaos", runtime="pypy", jit=True,
+                          nursery=64 * 1024)
+    reader = fresh_runner(tmp_path)
+    cached = reader.run("chaos", runtime="pypy", jit=True,
+                        nursery=64 * 1024)
+    assert cached is not original
+    for name, column in original.trace.arrays().items():
+        assert np.array_equal(column, cached.trace.arrays()[name]), name
+    assert cached.output == original.output
+    assert cached.site_table == original.site_table
+    assert cached.measure_start == original.measure_start
+    assert cached.bytecodes == original.bytecodes
+    assert cached.minor_gcs == original.minor_gcs
+
+
+def test_state_round_trip_is_bit_identical(tmp_path):
+    config = skylake_config()
+    writer = fresh_runner(tmp_path)
+    handle = writer.run("chaos", runtime="pypy", jit=True,
+                        nursery=64 * 1024)
+    original = writer.memory_side(handle, config)
+    reader = fresh_runner(tmp_path)
+    cached_handle = reader.run("chaos", runtime="pypy", jit=True,
+                               nursery=64 * 1024)
+    cached = reader.memory_side(cached_handle, config)
+    assert np.array_equal(original.dlevel, cached.dlevel)
+    assert np.array_equal(original.ilevel, cached.ilevel)
+    assert np.array_equal(original.mispredicted, cached.mispredicted)
+    assert original.mem_lines == cached.mem_lines
+    assert original.cache_stats == cached.cache_stats
+    assert original.branch_stats == cached.branch_stats
+
+
+def test_disk_hits_are_counted(tmp_path):
+    from repro import telemetry
+    telemetry.enable()
+    runner = fresh_runner(tmp_path)
+    runner.run("chaos", runtime="pypy", jit=True, nursery=64 * 1024)
+    reader = fresh_runner(tmp_path)
+    reader.run("chaos", runtime="pypy", jit=True, nursery=64 * 1024)
+    snapshot = TELEMETRY.metrics.snapshot()
+    hits = [v for k, v in snapshot.items()
+            if k.startswith("runner.disk_cache.hit") and "trace" in k]
+    assert hits and hits[0] >= 1
+
+
+def test_key_covers_run_parameters(tmp_path):
+    runner = fresh_runner(tmp_path)
+    base = dict(workload="chaos", runtime="pypy", jit=True,
+                nursery=64 * 1024)
+    key = content_key(runner._trace_key_params(
+        base["workload"], base["runtime"], base["jit"], base["nursery"],
+        0))
+    for variation in (dict(base, jit=False),
+                      dict(base, nursery=128 * 1024),
+                      dict(base, workload="nbody"),
+                      dict(base, runtime="cpython")):
+        other = content_key(runner._trace_key_params(
+            variation["workload"], variation["runtime"],
+            variation["jit"], variation["nursery"], 0))
+        assert other != key, variation
+
+
+def test_state_key_covers_geometry_but_not_latency():
+    base = skylake_config()
+    assert memory_side_key(base) == memory_side_key(
+        base.with_memory_latency(400))
+    assert memory_side_key(base) != memory_side_key(
+        base.with_llc_size(base.l3.size * 2))
+    assert memory_side_key(base) != memory_side_key(
+        base.with_line_size(128))
+    assert memory_side_key(base) != memory_side_key(
+        base.with_branch_scale(0.5))
+    assert memory_side_key(base) != memory_side_key(scaled_config(4))
+
+
+def test_corrupt_entries_fall_back_to_recompute(tmp_path):
+    writer = fresh_runner(tmp_path)
+    original = writer.run("chaos", runtime="pypy", jit=True,
+                          nursery=64 * 1024)
+    root = tmp_path / "cache"
+    for path in (root / "traces").iterdir():
+        if path.suffix == ".npz":
+            path.write_bytes(b"not an npz")
+        else:
+            path.write_text("{corrupt")
+    reader = fresh_runner(tmp_path)
+    recomputed = reader.run("chaos", runtime="pypy", jit=True,
+                            nursery=64 * 1024)
+    for name, column in original.trace.arrays().items():
+        assert np.array_equal(column, recomputed.trace.arrays()[name])
+
+
+def test_disabled_cache_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_TOGGLE_ENV, "off")
+    runner = ExperimentRunner()
+    assert not runner.disk_cache.enabled
+    runner.run("chaos", runtime="pypy", jit=True, nursery=64 * 1024)
+    assert not any(os.scandir(tmp_path))
+
+
+def test_atomic_writes_leave_no_tmp_litter(tmp_path):
+    runner = fresh_runner(tmp_path)
+    handle = runner.run("chaos", runtime="pypy", jit=True,
+                        nursery=64 * 1024)
+    runner.memory_side(handle, skylake_config())
+    leftovers = [p for p in (tmp_path / "cache").rglob("*")
+                 if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_schema_salt_changes_every_key(monkeypatch):
+    key = content_key({"x": 1})
+    monkeypatch.setattr("repro.experiments.diskcache.CACHE_SCHEMA", 2)
+    assert content_key({"x": 1}) != key
+
+
+def test_sidecar_is_compact_json(tmp_path):
+    runner = fresh_runner(tmp_path)
+    runner.run("chaos", runtime="pypy", jit=True, nursery=64 * 1024)
+    sidecars = list((tmp_path / "cache" / "traces").glob("*.json"))
+    assert len(sidecars) == 1
+    meta = json.loads(sidecars[0].read_text())
+    assert meta["workload"] == "chaos"
+    assert meta["runtime"] == "pypy"
+    assert "site_table" in meta

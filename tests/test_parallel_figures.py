@@ -1,0 +1,101 @@
+"""Parallel fan-out: jobs semantics, determinism, telemetry merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.config import skylake_config
+from repro.errors import ExperimentError
+from repro.experiments.figures import fig5
+from repro.experiments.parallel import JOBS_ENV, fan_out, resolve_jobs
+from repro.experiments.runner import ExperimentRunner
+from repro.telemetry import TELEMETRY
+
+_64K = 64 * 1024
+
+_REQUESTS = (
+    {"workload": "chaos", "runtime": "pypy", "jit": True,
+     "nursery": _64K},
+    {"workload": "nbody", "runtime": "pypy", "jit": True,
+     "nursery": _64K},
+    {"workload": "chaos", "runtime": "cpython"},
+)
+
+
+def test_resolve_jobs_defaults_and_env(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv(JOBS_ENV, "5")
+    assert resolve_jobs(None) == 5
+    assert resolve_jobs(2) == 2  # explicit wins over the env
+    assert resolve_jobs(0) >= 1  # 0 = one per CPU
+    monkeypatch.setenv(JOBS_ENV, "many")
+    with pytest.raises(ExperimentError):
+        resolve_jobs(None)
+    with pytest.raises(ExperimentError):
+        resolve_jobs(-2)
+
+
+def _square_cell(runner, value):
+    return value * value
+
+
+def test_fan_out_preserves_submission_order():
+    runner = ExperimentRunner()
+    items = [(v,) for v in range(8)]
+    assert fan_out(runner, _square_cell, items, jobs=1) \
+        == fan_out(runner, _square_cell, items, jobs=3) \
+        == [v * v for v in range(8)]
+
+
+def test_run_many_matches_serial_runs():
+    serial = ExperimentRunner()
+    expected = [serial.run(**request) for request in _REQUESTS]
+    parallel = ExperimentRunner()
+    handles = parallel.run_many(_REQUESTS, jobs=2)
+    assert len(handles) == len(expected)
+    for want, got in zip(expected, handles):
+        for name, column in want.trace.arrays().items():
+            assert np.array_equal(column, got.trace.arrays()[name]), name
+        assert want.output == got.output
+        assert want.minor_gcs == got.minor_gcs
+    # The handles were adopted: a repeat run() is a memory-cache hit.
+    again = parallel.run(**_REQUESTS[0])
+    assert again is handles[0]
+
+
+def test_simulate_many_matches_serial_simulation():
+    config = skylake_config()
+    serial = ExperimentRunner()
+    expected = [serial.simulate(serial.run(**request), config,
+                                core="ooo").cycles
+                for request in _REQUESTS]
+    parallel = ExperimentRunner()
+    cells = [(request, config) for request in _REQUESTS]
+    results = parallel.simulate_many(cells, core="ooo", jobs=2)
+    assert [r.cycles for r in results] == expected
+
+
+def test_worker_metrics_merge_into_parent():
+    telemetry.enable()
+    telemetry.reset()
+    runner = ExperimentRunner()
+    runner.run_many(_REQUESTS, jobs=2)
+    snapshot = TELEMETRY.metrics.snapshot()
+    guest = {k: v for k, v in snapshot.items()
+             if k.startswith("guest.instructions")}
+    assert guest, snapshot
+    assert sum(guest.values()) > 0
+
+
+def test_figure_output_identical_across_jobs():
+    runner_serial = ExperimentRunner()
+    serial = fig5(runner_serial, quick=True, jobs=1)
+    runner_parallel = ExperimentRunner()
+    parallel = fig5(runner_parallel, quick=True, jobs=2)
+    assert serial.rendered == parallel.rendered
+    assert serial.data["shares"] == parallel.data["shares"]
+    assert serial.data["average"] == parallel.data["average"]

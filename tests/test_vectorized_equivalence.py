@@ -1,0 +1,139 @@
+"""Vectorized memory-side engines must match the scalar reference.
+
+Property-style checks: randomized traces (hot/cold address mixes,
+conditional/indirect branch patterns) run through both the scalar and
+the vectorized cache/branch engines, and every output the rest of the
+pipeline consumes — per-instruction service levels, mispredict flags,
+aggregate statistics — must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BranchPredictorConfig,
+    MachineConfig,
+    scaled_config,
+    skylake_config,
+)
+from repro.host.isa import FLAG_COND, FLAG_INDIRECT, FLAG_TAKEN, InstrKind
+from repro.uarch.branch import (
+    simulate_branches,
+    simulate_branches_scalar,
+)
+from repro.uarch.cache import (
+    simulate_cache_hierarchy,
+    simulate_cache_hierarchy_scalar,
+)
+
+_KINDS = (InstrKind.ALU, InstrKind.LOAD, InstrKind.STORE,
+          InstrKind.BRANCH, InstrKind.ICALL, InstrKind.CALL,
+          InstrKind.RET, InstrKind.FPU)
+_KIND_P = (0.30, 0.25, 0.10, 0.20, 0.05, 0.04, 0.04, 0.02)
+
+
+def random_trace(seed: int, n: int) -> dict[str, np.ndarray]:
+    """A trace with hot and cold addresses and mixed branch behavior."""
+    rng = np.random.default_rng(seed)
+    kind = rng.choice([int(k) for k in _KINDS], size=n,
+                      p=_KIND_P).astype(np.int8)
+    # PCs: a small pool so branch sites repeat and predictors can learn,
+    # with enough spread to alias on scaled-down tables.
+    pc = (0x400000 + 4 * rng.integers(0, 512, size=n)).astype(np.int64)
+    # Data addresses: 70% from a hot working set, 30% cold.
+    hot = 0x10000 + 64 * rng.integers(0, 64, size=n)
+    cold = 0x800000 + 64 * rng.integers(0, 1 << 16, size=n)
+    use_hot = rng.random(n) < 0.7
+    addr = np.where(use_hot, hot, cold).astype(np.int64)
+    is_mem = (kind == int(InstrKind.LOAD)) | (kind == int(InstrKind.STORE))
+    addr[~is_mem] = 0
+    flags = np.zeros(n, dtype=np.int8)
+    is_branch = kind == int(InstrKind.BRANCH)
+    cond = is_branch & (rng.random(n) < 0.8)
+    # Taken bias per PC: some sites strongly biased, some noisy.
+    bias = rng.random(512)[((pc - 0x400000) // 4) % 512]
+    taken = rng.random(n) < bias
+    flags[cond] |= FLAG_COND
+    flags[is_branch & taken] |= FLAG_TAKEN
+    is_icall = kind == int(InstrKind.ICALL)
+    flags[is_icall] |= FLAG_INDIRECT | FLAG_TAKEN
+    # Indirect-call targets: mono- and polymorphic sites.
+    addr[is_icall] = (0x500000
+                      + 0x1000 * rng.integers(0, 3, size=int(is_icall.sum())))
+    return {"pc": pc, "kind": kind, "addr": addr, "flags": flags,
+            "size": np.full(n, 8, dtype=np.int8)}
+
+
+def tiny_config() -> MachineConfig:
+    """A deliberately cramped machine: constant evictions and aliasing."""
+    return scaled_config(6)
+
+
+_CONFIGS = {
+    "skylake": skylake_config,
+    "scaled4": lambda: scaled_config(4),
+    "tiny": tiny_config,
+}
+
+
+@pytest.mark.parametrize("backend", ["vector", "auto"])
+@pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_cache_engines_bit_identical(seed, config_name, backend):
+    arrays = random_trace(seed, 6000)
+    config = _CONFIGS[config_name]()
+    ref = simulate_cache_hierarchy_scalar(arrays, config)
+    out = simulate_cache_hierarchy(arrays, config, backend=backend)
+    assert np.array_equal(ref.dlevel, out.dlevel)
+    assert np.array_equal(ref.ilevel, out.ilevel)
+    assert ref.mem_lines == out.mem_lines
+    assert set(ref.stats) == set(out.stats)
+    for name in ref.stats:
+        assert ref.stats[name] == out.stats[name], name
+
+
+@pytest.mark.parametrize("backend", ["vector", "auto"])
+@pytest.mark.parametrize("scale", [1.0, 1 / 64])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_branch_engines_bit_identical(seed, scale, backend):
+    arrays = random_trace(seed, 6000)
+    config = BranchPredictorConfig(scale=scale)
+    ref_mis, ref_stats = simulate_branches_scalar(arrays, config)
+    out_mis, out_stats = simulate_branches(arrays, config,
+                                           backend=backend)
+    assert np.array_equal(ref_mis, out_mis)
+    assert ref_stats == out_stats
+
+
+def test_empty_trace_all_backends():
+    arrays = random_trace(0, 0)
+    config = skylake_config()
+    for backend in ("scalar", "vector", "auto"):
+        result = simulate_cache_hierarchy(arrays, config, backend=backend)
+        assert len(result.dlevel) == 0
+        mis, _ = simulate_branches(arrays, config.branch, backend=backend)
+        assert len(mis) == 0
+
+
+def test_real_guest_trace_bit_identical(pypy_run):
+    """End-to-end: a real VM trace, not just synthetic columns."""
+    _, machine = pypy_run(
+        "total = 0\n"
+        "for i in range(400):\n"
+        "    total = total + i * i\n"
+        "print(total)\n")
+    arrays = machine.trace.arrays()
+    config = skylake_config()
+    ref = simulate_cache_hierarchy_scalar(arrays, config)
+    out = simulate_cache_hierarchy(arrays, config, backend="vector")
+    assert np.array_equal(ref.dlevel, out.dlevel)
+    assert np.array_equal(ref.ilevel, out.ilevel)
+    for name in ref.stats:
+        assert ref.stats[name] == out.stats[name], name
+    ref_mis, ref_stats = simulate_branches_scalar(arrays, config.branch)
+    out_mis, out_stats = simulate_branches(arrays, config.branch,
+                                           backend="vector")
+    assert np.array_equal(ref_mis, out_mis)
+    assert ref_stats == out_stats
