@@ -6,12 +6,19 @@ run        execute a MiniPy file on a modeled runtime, print its output
 breakdown  Table II overhead breakdown for a MiniPy file
 workloads  list the built-in benchmark suites
 figure     regenerate one of the paper's tables/figures
+figures    regenerate many figures with checkpoint/resume (``--all``)
+cache      disk-cache maintenance (``gc``, ``stats``)
 telemetry  dump the last run's telemetry manifest
 
-``run``, ``breakdown``, and ``figure`` execute with telemetry enabled
-and write a per-run manifest (mirrored to ``.repro-telemetry/
-last_run.json``; ``--metrics-out PATH`` adds an explicit copy) that the
-``telemetry`` command reads back.
+``run``, ``breakdown``, ``figure``, and ``figures`` execute with
+telemetry enabled and write a per-run manifest (mirrored to
+``.repro-telemetry/last_run.json``; ``--metrics-out PATH`` adds an
+explicit copy) that the ``telemetry`` command reads back.
+
+``figures --all`` journals each completed figure to a checkpoint file
+(default: ``<cache-root>/figures.journal``); an interrupted campaign —
+Ctrl-C exits with status 130 after flushing telemetry — resumes where
+it died and skips every figure the journal already records.
 """
 
 from __future__ import annotations
@@ -45,7 +52,10 @@ _MB = 1024 * 1024
 
 #: Subcommands that run guest code: telemetry is enabled around them
 #: and a manifest is written when they finish.
-_TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure"})
+_TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure", "figures"})
+
+#: Conventional exit status for SIGINT (128 + 2).
+EXIT_INTERRUPTED = 130
 
 
 def _build_vm(runtime: str, machine: HostMachine, program,
@@ -155,6 +165,54 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_figures(args) -> int:
+    from .analysis.report import render_table as _render
+    from .experiments.resilience import run_campaign
+    if not args.all and not args.names:
+        print("figures: name at least one figure or pass --all",
+              file=sys.stderr)
+        return 1
+    report = run_campaign(
+        names=args.names or None, quick=not args.full, jobs=args.jobs,
+        checkpoint=args.checkpoint, fresh=args.fresh,
+        budget_seconds=args.budget_seconds)
+    rows = report.summary_rows()
+    total = sum(report.wall_seconds.values())
+    rows.append(["TOTAL", f"{len(report.completed)} run, "
+                 f"{len(report.skipped)} checkpointed", f"{total:.1f}s"])
+    print(_render(["figure", "status", "wall clock"], rows,
+                  title="figure campaign summary"))
+    print(f"checkpoint journal: {report.checkpoint}", file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .experiments.diskcache import DiskCache
+    cache = DiskCache(args.dir if args.dir else "auto")
+    if not cache.enabled:
+        print("disk cache is disabled (REPRO_CACHE=off)", file=sys.stderr)
+        return 1
+    if args.action == "gc":
+        stats = cache.gc(max_bytes=int(args.max_mb * 1024 * 1024))
+        print(f"evicted {stats['evicted']} entries "
+              f"({stats['bytes_freed'] / 1e6:.1f} MB), "
+              f"swept {stats['tmp_removed']} tmp files; "
+              f"{stats['kept_entries']} entries "
+              f"({stats['kept_bytes'] / 1e6:.1f} MB) remain "
+              f"under {cache.root}")
+        return 0
+    usage = cache.usage()
+    rows = [[kind,
+             str(usage.get(kind, {}).get("entries", 0)),
+             f"{usage.get(kind, {}).get('bytes', 0) / 1e6:.1f} MB"]
+            for kind in ("traces", "states")]
+    rows.append(["quarantined files", str(usage["quarantined_files"]),
+                 ""])
+    print(render_table(["kind", "entries", "size"], rows,
+                       title=f"disk cache: {usage['root']}"))
+    return 0
+
+
 def cmd_telemetry(args) -> int:
     manifest = load_last_manifest()
     if manifest is None:
@@ -211,6 +269,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser(
+        "figures",
+        help="regenerate many figures with checkpoint/resume")
+    p.add_argument("names", nargs="*",
+                   help="figure ids (default: --all)")
+    p.add_argument("--all", action="store_true",
+                   help="regenerate every table and figure")
+    p.add_argument("--full", action="store_true",
+                   help="full grids instead of quick ones")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for independent cells "
+                        "(default: $REPRO_JOBS or 1; 0 = all cores)")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="journal file (default: "
+                        "<cache-root>/figures.journal)")
+    p.add_argument("--fresh", action="store_true",
+                   help="discard the checkpoint journal and start over")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   help="per-figure wall-clock budget; exceeding it is "
+                        "flagged, not fatal")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the telemetry manifest (JSON) here")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "cache",
+        help="disk-cache maintenance: size-bounded gc, usage stats")
+    p.add_argument("action", choices=("gc", "stats"))
+    p.add_argument("--max-mb", type=float, default=2048.0,
+                   help="gc: keep at most this many megabytes "
+                        "(default: 2048)")
+    p.add_argument("--dir", metavar="PATH", default=None,
+                   help="cache root (default: $REPRO_CACHE_DIR or "
+                        ".repro-cache)")
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
         "telemetry",
         help="dump the last run's telemetry manifest")
     p.add_argument("--tree", action="store_true",
@@ -231,6 +325,13 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # fan_out has already cancelled its futures and terminated its
+        # workers on the way up; the finally block below still flushes
+        # the telemetry manifest, so a checkpointed campaign resumes
+        # cleanly after Ctrl-C.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     finally:
         if with_telemetry:
             config = {k: v for k, v in vars(args).items()

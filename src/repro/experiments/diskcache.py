@@ -26,17 +26,34 @@ change the bytes changes the key, so there is no invalidation protocol
 beyond "bump the schema when the serialized layout changes" and
 "delete the directory when the simulator's behavior changes".
 
+**Durability and self-healing.** Each file is written to a per-process
+temporary name and renamed into place, the ``.npz`` is written *first*,
+and the JSON sidecar — which carries the ``.npz``'s SHA-256 — is
+written *last*: the sidecar is the commit record for the pair. A
+SIGKILL at any point therefore leaves either a complete entry or an
+``.npz`` orphan, which the next load deletes and treats as a miss.
+Entries that fail integrity checks on load (unparseable sidecar,
+checksum mismatch, truncated/undecodable ``.npz``) are *quarantined* —
+moved to ``quarantine/`` for post-mortems, never silently retried
+forever — counted as ``cache.quarantined``, and recomputed. Stale
+``.tmp*`` litter from killed writers is swept by :meth:`sweep_tmp`,
+and :meth:`gc` bounds the store's size, evicting least-recently-used
+entries (sidecar mtime, refreshed on every hit).
+
 Environment knobs:
 
 ``REPRO_CACHE_DIR``
     cache root (default ``.repro-cache`` under the working directory).
 ``REPRO_CACHE=off``
     disable the disk cache entirely (``0``/``no``/``false`` also work).
+``REPRO_CACHE_VERIFY=off``
+    skip SHA-256 verification on load (pair-presence and parse checks
+    remain); for hot read paths where the checksum cost matters.
 
-Writes go to a per-process temporary name followed by ``os.replace``,
-so concurrent figure workers sharing one cache directory never observe
-half-written entries — at worst two processes race to write identical
-bytes and the later rename wins.
+Fault injection: when a :class:`~repro.experiments.resilience.
+FaultPlan` arms ``cache_corrupt``, the cache deterministically flips
+bytes in ``.npz`` files it just stored so tests can prove the
+quarantine-and-recompute path end to end.
 """
 
 from __future__ import annotations
@@ -45,26 +62,40 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
 
 from ..host.trace import InstructionTrace
+from ..telemetry import TELEMETRY
 from ..uarch.branch import BranchStats
 from ..uarch.cache import CacheStats
 from ..uarch.system import MemorySideState
+from .resilience import FaultPlan
 
 #: Bump when the on-disk layout (or anything it captures) changes shape.
-CACHE_SCHEMA = 1
+#: 2: sidecars carry the paired ``.npz``'s SHA-256 (``npz_sha256``).
+CACHE_SCHEMA = 2
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_TOGGLE_ENV = "REPRO_CACHE"
+CACHE_VERIFY_ENV = "REPRO_CACHE_VERIFY"
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory corrupt entries are moved to (never read back).
+QUARANTINE_DIR = "quarantine"
+
+#: ``sweep_tmp`` default: temp files younger than this may belong to a
+#: live writer in another process and are left alone.
+TMP_MAX_AGE_SECONDS = 3600.0
 
 _OFF_VALUES = frozenset({"off", "0", "no", "false"})
 
 #: MemorySideState array fields stored in the ``.npz`` entry.
 _STATE_ARRAYS = ("dlevel", "ilevel", "mispredicted")
+
+_KINDS = ("traces", "states")
 
 
 def cache_root() -> Path | None:
@@ -75,11 +106,26 @@ def cache_root() -> Path | None:
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
 
 
+def verify_enabled() -> bool:
+    """Is SHA-256 verification on load enabled (the default)?"""
+    toggle = os.environ.get(CACHE_VERIFY_ENV, "").strip().lower()
+    return toggle not in _OFF_VALUES
+
+
 def content_key(params: dict) -> str:
     """SHA-256 over the canonical JSON of ``params`` plus the schema."""
     payload = json.dumps({"schema": CACHE_SCHEMA, **params},
                          sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def file_sha256(path: Path) -> str:
+    """Streaming SHA-256 of one file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _atomic_write(path: Path, writer) -> None:
@@ -103,10 +149,16 @@ def _write_json(path: Path, payload: dict) -> None:
 class DiskCache:
     """Content-addressed trace/state store rooted at one directory."""
 
-    def __init__(self, root: str | Path | None | object = "auto") -> None:
+    def __init__(self, root: str | Path | None | object = "auto",
+                 fault_plan: FaultPlan | None = None) -> None:
         if root == "auto":
             root = cache_root()
         self.root = Path(root) if root is not None else None
+        self.fault_plan = fault_plan if fault_plan is not None \
+            else FaultPlan.from_env()
+        #: (kind, key) -> stores seen; the injection site includes the
+        #: occurrence so a recomputed entry is not re-corrupted forever.
+        self._store_counts: dict[tuple[str, str], int] = {}
 
     @property
     def enabled(self) -> bool:
@@ -115,6 +167,121 @@ class DiskCache:
     def _paths(self, kind: str, key: str) -> tuple[Path, Path]:
         directory = self.root / kind
         return directory / f"{key}.npz", directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Integrity: orphans, quarantine, verification
+    # ------------------------------------------------------------------
+
+    def quarantine(self, kind: str, key: str) -> bool:
+        """Move a corrupt entry's files to ``quarantine/``.
+
+        Returns True when at least one file was moved; the entry then
+        reads as a clean miss, so it is recomputed (and re-stored) at
+        most once rather than tripping every future load.
+        """
+        if not self.enabled:
+            return False
+        quarantine = self.root / QUARANTINE_DIR
+        moved = False
+        for path in self._paths(kind, key):
+            if not path.exists():
+                continue
+            target = quarantine / f"{kind}-{path.name}"
+            serial = 0
+            while target.exists():
+                serial += 1
+                target = quarantine / f"{kind}-{path.name}.{serial}"
+            try:
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+                moved = True
+            except OSError:
+                # Quarantine dir unwritable: deleting still self-heals.
+                try:
+                    path.unlink(missing_ok=True)
+                    moved = True
+                except OSError:
+                    pass
+        if moved:
+            TELEMETRY.metrics.counter("cache.quarantined",
+                                      kind=kind).inc()
+        return moved
+
+    def _drop_orphan(self, kind: str, path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+            TELEMETRY.metrics.counter("cache.orphans_removed",
+                                      kind=kind).inc()
+        except OSError:
+            pass
+
+    def _load_sidecar(self, kind: str, key: str) -> dict | None:
+        """Read and validate the commit record; heal what it finds.
+
+        No sidecar + an ``.npz`` means a writer died between the two
+        writes: the orphan is deleted and the entry is a miss.
+        """
+        npz_path, meta_path = self._paths(kind, key)
+        if not meta_path.exists():
+            if npz_path.exists():
+                self._drop_orphan(kind, npz_path)
+            return None
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.quarantine(kind, key)
+            return None
+        if not isinstance(meta, dict):
+            self.quarantine(kind, key)
+            return None
+        if not npz_path.exists():
+            # Sidecar without payload (quarantined npz, manual delete).
+            self._drop_orphan(kind, meta_path)
+            return None
+        if verify_enabled():
+            want = meta.get("npz_sha256")
+            if want is None or file_sha256(npz_path) != want:
+                TELEMETRY.metrics.counter("cache.checksum_mismatch",
+                                          kind=kind).inc()
+                self.quarantine(kind, key)
+                return None
+        return meta
+
+    def _touch(self, kind: str, key: str) -> None:
+        """Refresh the sidecar mtime: :meth:`gc` evicts LRU by it."""
+        _, meta_path = self._paths(kind, key)
+        try:
+            os.utime(meta_path)
+        except OSError:
+            pass
+
+    def _finish_store(self, kind: str, key: str, npz_path: Path,
+                      meta_path: Path, meta: dict) -> None:
+        """Commit one entry: checksum the payload, then the sidecar."""
+        meta["npz_sha256"] = file_sha256(npz_path)
+        _write_json(meta_path, meta)
+        self._maybe_corrupt(kind, key, npz_path)
+
+    def _maybe_corrupt(self, kind: str, key: str, npz_path: Path) -> None:
+        """Injected ``cache_corrupt`` fault: flip bytes post-commit."""
+        plan = self.fault_plan
+        if not plan or plan.spec("cache_corrupt") is None:
+            return
+        occurrence = self._store_counts.get((kind, key), 0)
+        self._store_counts[(kind, key)] = occurrence + 1
+        if not plan.should_fire("cache_corrupt", f"{kind}:{key}",
+                                occurrence):
+            return
+        try:
+            size = npz_path.stat().st_size
+            with open(npz_path, "r+b") as handle:
+                handle.seek(max(0, size // 2))
+                handle.write(b"\xde\xad\xbe\xef" * 8)
+        except OSError:
+            return
+        TELEMETRY.metrics.counter("cache.faults_injected",
+                                  kind=kind).inc()
 
     # ------------------------------------------------------------------
     # Guest runs
@@ -129,22 +296,28 @@ class DiskCache:
         if not self.enabled:
             return None
         from .runner import RunHandle
-        npz_path, meta_path = self._paths("traces", key)
-        try:
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-            trace = InstructionTrace.load(npz_path)
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        npz_path, _ = self._paths("traces", key)
+        meta = self._load_sidecar("traces", key)
+        if meta is None:
             return None
-        meta["site_table"] = {name: int(pc) for name, pc
-                              in meta.get("site_table", {}).items()}
-        return RunHandle(trace=trace, token=0, **meta)
+        meta.pop("npz_sha256", None)
+        try:
+            trace = InstructionTrace.load(npz_path)
+            meta["site_table"] = {name: int(pc) for name, pc
+                                  in meta.get("site_table", {}).items()}
+            handle = RunHandle(trace=trace, token=0, **meta)
+        except Exception:
+            # Undecodable npz / sidecar shaped wrong for RunHandle: any
+            # parse failure means the entry is corrupt, not the caller.
+            self.quarantine("traces", key)
+            return None
+        self._touch("traces", key)
+        return handle
 
     def store_run(self, key: str, handle) -> None:
         if not self.enabled:
             return
         npz_path, meta_path = self._paths("traces", key)
-        npz_path.parent.mkdir(parents=True, exist_ok=True)
         meta = {
             "workload": handle.workload,
             "runtime": handle.runtime,
@@ -164,9 +337,17 @@ class DiskCache:
             "wall_seconds": handle.wall_seconds,
             "host_instructions": handle.host_instructions,
         }
-        _atomic_write(
-            npz_path, lambda tmp: handle.trace.save(tmp, compressed=False))
-        _write_json(meta_path, meta)
+        try:
+            npz_path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                npz_path,
+                lambda tmp: handle.trace.save(tmp, compressed=False))
+            self._finish_store("traces", key, npz_path, meta_path, meta)
+        except OSError:
+            # A full/readonly disk must not kill the run that computed
+            # the artifact; the entry simply stays a miss.
+            TELEMETRY.metrics.counter("cache.write_errors",
+                                      kind="traces").inc()
 
     # ------------------------------------------------------------------
     # Memory-side states
@@ -175,29 +356,33 @@ class DiskCache:
     def load_state(self, key: str) -> MemorySideState | None:
         if not self.enabled:
             return None
-        npz_path, meta_path = self._paths("states", key)
+        npz_path, _ = self._paths("states", key)
+        meta = self._load_sidecar("states", key)
+        if meta is None:
+            return None
         try:
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
             with np.load(npz_path) as data:
                 arrays = {name: data[name] for name in _STATE_ARRAYS}
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            cache_stats = {name: CacheStats(**counts)
+                           for name, counts in meta["cache_stats"].items()}
+            state = MemorySideState(
+                dlevel=arrays["dlevel"],
+                ilevel=arrays["ilevel"],
+                cache_stats=cache_stats,
+                mem_lines=meta["mem_lines"],
+                mispredicted=arrays["mispredicted"],
+                branch_stats=BranchStats(**meta["branch_stats"]))
+        except Exception:
+            # Same contract as load_run: parse failure == corruption.
+            self.quarantine("states", key)
             return None
-        cache_stats = {name: CacheStats(**counts)
-                       for name, counts in meta["cache_stats"].items()}
-        return MemorySideState(
-            dlevel=arrays["dlevel"],
-            ilevel=arrays["ilevel"],
-            cache_stats=cache_stats,
-            mem_lines=meta["mem_lines"],
-            mispredicted=arrays["mispredicted"],
-            branch_stats=BranchStats(**meta["branch_stats"]))
+        self._touch("states", key)
+        return state
 
     def store_state(self, key: str, state: MemorySideState) -> None:
         if not self.enabled:
             return
         npz_path, meta_path = self._paths("states", key)
-        npz_path.parent.mkdir(parents=True, exist_ok=True)
         meta = {
             "mem_lines": state.mem_lines,
             "cache_stats": {name: dataclasses.asdict(stats)
@@ -210,5 +395,136 @@ class DiskCache:
                 np.savez(handle, dlevel=state.dlevel, ilevel=state.ilevel,
                          mispredicted=state.mispredicted)
 
-        _atomic_write(npz_path, writer)
-        _write_json(meta_path, meta)
+        try:
+            npz_path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write(npz_path, writer)
+            self._finish_store("states", key, npz_path, meta_path, meta)
+        except OSError:
+            TELEMETRY.metrics.counter("cache.write_errors",
+                                      kind="states").inc()
+
+    # ------------------------------------------------------------------
+    # Maintenance: tmp sweeping, size-bounded gc, usage
+    # ------------------------------------------------------------------
+
+    def sweep_tmp(self, max_age: float = TMP_MAX_AGE_SECONDS) -> int:
+        """Delete ``.tmp*`` litter older than ``max_age`` seconds.
+
+        A writer killed between creating its temp file and the rename
+        leaves one behind; anything older than ``max_age`` cannot
+        belong to a live writer.
+        """
+        if not self.enabled:
+            return 0
+        removed = 0
+        now = time.time()
+        for kind in _KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.tmp*"):
+                try:
+                    if now - path.stat().st_mtime >= max_age:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        if removed:
+            TELEMETRY.metrics.counter("cache.tmp_swept").inc(removed)
+        return removed
+
+    def _entries(self):
+        """All committed pairs: (mtime, bytes, kind, key) per entry.
+
+        Orphans discovered along the way are deleted on the spot.
+        """
+        entries = []
+        for kind in _KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            sidecars = {p.stem: p for p in directory.glob("*.json")}
+            payloads = {p.stem: p for p in directory.glob("*.npz")}
+            for stem, path in payloads.items():
+                if stem not in sidecars:
+                    self._drop_orphan(kind, path)
+            for stem, meta_path in sorted(sidecars.items()):
+                npz_path = payloads.get(stem)
+                if npz_path is None:
+                    self._drop_orphan(kind, meta_path)
+                    continue
+                try:
+                    size = meta_path.stat().st_size \
+                        + npz_path.stat().st_size
+                    mtime = meta_path.stat().st_mtime
+                except OSError:
+                    continue
+                entries.append((mtime, size, kind, stem))
+        return entries
+
+    def gc(self, max_bytes: int) -> dict:
+        """Bound the store to ``max_bytes``, evicting LRU entries.
+
+        Also sweeps all ``.tmp*`` litter and deletes orphans. Returns a
+        stats dict (``evicted``, ``bytes_freed``, ``kept_entries``,
+        ``kept_bytes``, ``tmp_removed``).
+        """
+        stats = {"evicted": 0, "bytes_freed": 0, "kept_entries": 0,
+                 "kept_bytes": 0, "tmp_removed": 0}
+        if not self.enabled:
+            return stats
+        stats["tmp_removed"] = self.sweep_tmp(max_age=0.0)
+        entries = self._entries()
+        total = sum(size for _, size, _, _ in entries)
+        entries.sort()  # oldest sidecar mtime first
+        for mtime, size, kind, key in entries:
+            if total <= max_bytes:
+                stats["kept_entries"] += 1
+                continue
+            npz_path, meta_path = self._paths(kind, key)
+            try:
+                # Sidecar (the commit record) goes first: a crash
+                # mid-eviction leaves an orphan npz, not a valid-looking
+                # sidecar pointing at nothing.
+                meta_path.unlink(missing_ok=True)
+                npz_path.unlink(missing_ok=True)
+            except OSError:
+                stats["kept_entries"] += 1
+                continue
+            total -= size
+            stats["evicted"] += 1
+            stats["bytes_freed"] += size
+        stats["kept_bytes"] = total
+        if stats["evicted"]:
+            TELEMETRY.metrics.counter("cache.gc_evicted").inc(
+                stats["evicted"])
+        return stats
+
+    def usage(self) -> dict:
+        """Entry counts and byte totals per kind, plus quarantine."""
+        usage = {"root": str(self.root) if self.enabled else None,
+                 "entries": 0, "bytes": 0, "quarantined_files": 0}
+        if not self.enabled:
+            return usage
+        for kind in _KINDS:
+            count = size = 0
+            directory = self.root / kind
+            if directory.is_dir():
+                for meta_path in directory.glob("*.json"):
+                    npz_path = meta_path.with_suffix(".npz")
+                    if not npz_path.exists():
+                        continue
+                    count += 1
+                    try:
+                        size += meta_path.stat().st_size \
+                            + npz_path.stat().st_size
+                    except OSError:
+                        continue
+            usage[kind] = {"entries": count, "bytes": size}
+            usage["entries"] += count
+            usage["bytes"] += size
+        quarantine = self.root / QUARANTINE_DIR
+        if quarantine.is_dir():
+            usage["quarantined_files"] = sum(
+                1 for _ in quarantine.iterdir())
+        return usage

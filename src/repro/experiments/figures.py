@@ -696,3 +696,21 @@ ALL_FIGURES = {
     "fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
     "fig16": fig16, "fig17": fig17,
 }
+
+#: Runner scale each figure builds its default runner with (None for
+#: the tables, which take no runner). The ``figures --all`` campaign
+#: driver shares one runner per scale across figures so the in-memory
+#: caches stay warm between figures of the same family.
+FIGURE_SCALES = {
+    "table1": None, "table2": None,
+    "fig4": 1, "fig5": 1, "fig6": 1, "fig7": 1, "fig8": 1, "fig9": 1,
+    "fig10": NURSERY_SCALE, "fig11": NURSERY_SCALE,
+    "fig12": NURSERY_SCALE, "fig13": NURSERY_SCALE,
+    "fig14": NURSERY_SCALE, "fig15": NURSERY_SCALE,
+    "fig16": 1, "fig17": NURSERY_SCALE,
+}
+
+
+def figure_scale(name: str) -> int | None:
+    """Runner scale for one figure id (None = takes no runner)."""
+    return FIGURE_SCALES.get(name)

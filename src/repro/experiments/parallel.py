@@ -1,21 +1,23 @@
-"""Process-pool fan-out for independent experiment cells.
+"""Supervised process-pool fan-out for independent experiment cells.
 
 The figure harnesses iterate grids of independent (workload, config)
 cells; :func:`fan_out` distributes those cells over a
 ``ProcessPoolExecutor`` while keeping three invariants the serial loops
 rely on:
 
-* **Determinism** — results come back in submission order (``map``),
-  and each cell function is a pure function of its arguments plus the
-  runner's construction parameters, so figure aggregation code sees
-  exactly the sequence a serial loop would produce.
+* **Determinism** — results come back in submission order, and each
+  cell function is a pure function of its arguments plus the runner's
+  construction parameters, so figure aggregation code sees exactly the
+  sequence a serial loop would produce — whatever faults were survived
+  along the way.
 * **Telemetry** — each worker resets the metrics registry it inherited
   over ``fork`` (otherwise the parent's pre-fork counts would be merged
   back in again, double-counting), runs its cell, then ships a
   :meth:`~repro.telemetry.metrics.MetricsRegistry.dump` back with the
-  result. The parent merges every dump so the run manifest covers the
-  whole fan-out. Spans stay per-process; counters and histograms are
-  what the bench assertions read.
+  result. The parent merges the final successful dump of every cell,
+  in submission order, so the run manifest covers the whole fan-out.
+  (Work lost to a crashed worker is not counted: its registry died
+  with it.)
 * **Cache sharing** — workers build their own
   :class:`~repro.experiments.runner.ExperimentRunner` from
   :meth:`~repro.experiments.runner.ExperimentRunner.spawn_params`, so
@@ -23,28 +25,65 @@ rely on:
   and memory-side states a worker computes are write-through persisted,
   which is how parallel work becomes visible to the parent (and to the
   next invocation) without shipping multi-megabyte traces over pipes.
+  It is also what makes retries cheap: a cell that crashed *after*
+  computing expensive sub-results finds them in the cache on re-run.
+
+Cells are supervised (see :class:`~repro.experiments.resilience.
+RetryPolicy`): each one is an individual future with an optional
+wall-clock timeout; cell exceptions and timeouts are retried with
+exponential backoff up to a bounded budget; a broken pool
+(``BrokenProcessPool`` — a worker was OOM-killed, segfaulted, or had a
+fault injected) is rebuilt and only the *lost* cells re-run; after
+``max_pool_rebuilds`` rebuilds the remaining cells degrade to
+in-process serial execution rather than aborting the campaign.
+``KeyboardInterrupt`` cancels all pending futures, terminates the
+workers, and propagates (the CLI turns it into exit status 130).
+Every recovery is counted: ``resilience.retries{reason=...}``,
+``resilience.timeouts``, ``resilience.pool_rebuilds``,
+``resilience.serial_fallbacks``, ``resilience.interrupted``.
 
 Cell functions must be module-level (picklable) and take the worker's
 runner as their first argument: ``fn(runner, *args)``.
 
 ``--jobs``/:data:`JOBS_ENV` semantics: ``1`` (default) runs serial in
 the calling process, ``N > 1`` uses ``N`` workers, ``0`` means one
-worker per CPU.
+worker per CPU. Values beyond a sane cap (``max(16, 4 x cpu_count)``)
+are rejected rather than silently spawning hundreds of workers.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 
 from ..errors import ExperimentError
 from ..telemetry import TELEMETRY
+from .resilience import FaultPlan, RetryPolicy
 
 JOBS_ENV = "REPRO_JOBS"
 
+#: ``resolve_jobs`` rejects requests beyond ``max(MIN_JOBS_CAP,
+#: MAX_JOBS_FACTOR * cpu_count)`` — fork bombs are a config error.
+MAX_JOBS_FACTOR = 4
+MIN_JOBS_CAP = 16
+
+#: Exit status an injected ``worker_crash`` fault dies with.
+CRASH_EXIT = 11
+
 #: Worker-global runner, built once per process by :func:`_init_worker`.
 _WORKER_RUNNER = None
+#: Worker-global fault plan (None in the parent: injected worker faults
+#: must never fire in the supervising process).
+_WORKER_FAULTS: FaultPlan | None = None
+
+
+def jobs_cap() -> int:
+    """Largest accepted ``--jobs`` value on this machine."""
+    return max(MIN_JOBS_CAP, MAX_JOBS_FACTOR * (os.cpu_count() or 1))
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -60,13 +99,20 @@ def resolve_jobs(jobs: int | None) -> int:
                 f"{JOBS_ENV} must be an integer, got {raw!r}") from None
     if jobs < 0:
         raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    cap = jobs_cap()
+    if jobs > cap:
+        raise ExperimentError(
+            f"jobs={jobs} exceeds the sane cap of {cap} for this "
+            f"machine ({os.cpu_count() or 1} CPUs); use 0 for one "
+            "worker per CPU")
     if jobs == 0:
         return os.cpu_count() or 1
     return jobs
 
 
-def _init_worker(runner_params: dict, telemetry_on: bool) -> None:
-    global _WORKER_RUNNER
+def _init_worker(runner_params: dict, telemetry_on: bool,
+                 fault_plan: FaultPlan) -> None:
+    global _WORKER_RUNNER, _WORKER_FAULTS
     from .. import telemetry as telemetry_mod
     if telemetry_on:
         telemetry_mod.enable()
@@ -75,36 +121,229 @@ def _init_worker(runner_params: dict, telemetry_on: bool) -> None:
     TELEMETRY.metrics.reset()
     from .runner import ExperimentRunner
     _WORKER_RUNNER = ExperimentRunner(**runner_params)
+    _WORKER_FAULTS = fault_plan
 
 
 def _run_cell(payload):
-    fn, args = payload
+    fn, args, site, attempt = payload
+    plan = _WORKER_FAULTS
+    if plan:
+        if plan.should_fire("worker_crash", site, attempt):
+            os._exit(CRASH_EXIT)
+        spec = plan.spec("cell_timeout")
+        if spec is not None and plan.should_fire("cell_timeout", site,
+                                                 attempt):
+            time.sleep(spec.sleep_seconds)
     result = fn(_WORKER_RUNNER, *args)
     dump = TELEMETRY.metrics.dump()
     TELEMETRY.metrics.reset()
     return result, dump
 
 
-def fan_out(runner, fn, items, jobs: int | None = None) -> list:
+def fan_out(runner, fn, items, jobs: int | None = None,
+            policy: RetryPolicy | None = None) -> list:
     """Run ``fn(runner, *args)`` for each args-tuple in ``items``.
 
     With one job (or one item) this is a plain serial loop on the
-    caller's runner — no processes, no pickling. Otherwise cells run in
-    a fork-context pool and results return in submission order.
+    caller's runner — no processes, no pickling, no fault injection.
+    Otherwise cells run in a supervised fork-context pool (see the
+    module docstring) and results return in submission order.
     """
     items = [tuple(args) for args in items]
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
         return [fn(runner, *args) for args in items]
-    params = runner.spawn_params()
-    context = multiprocessing.get_context("fork")
-    results = []
-    with ProcessPoolExecutor(
-            max_workers=min(jobs, len(items)), mp_context=context,
-            initializer=_init_worker,
-            initargs=(params, TELEMETRY.enabled)) as pool:
-        for result, dump in pool.map(
-                _run_cell, [(fn, args) for args in items]):
-            TELEMETRY.metrics.merge(dump)
-            results.append(result)
-    return results
+    if policy is None:
+        policy = RetryPolicy.from_env()
+    supervisor = _Supervisor(runner, fn, items, jobs, policy,
+                             FaultPlan.from_env())
+    return supervisor.run()
+
+
+class _PoolLost(Exception):
+    """Internal: the pool died or was killed; rebuild and continue."""
+
+
+class _Supervisor:
+    """Drives one fan-out to completion through crashes and timeouts."""
+
+    def __init__(self, runner, fn, items, jobs: int,
+                 policy: RetryPolicy, faults: FaultPlan) -> None:
+        self.runner = runner
+        self.fn = fn
+        self.items = items
+        self.jobs = jobs
+        self.policy = policy
+        self.faults = faults
+        self.params = runner.spawn_params()
+        n = len(items)
+        self.results: list = [None] * n
+        self.dumps: list = [None] * n
+        self.done = [False] * n
+        #: Injection-site attempt counter (crashes and timeouts bump it
+        #: so a deterministic fault does not re-fire forever).
+        self.attempts = [0] * n
+        self.error_counts = [0] * n
+        self.timeout_counts = [0] * n
+        self.pool: ProcessPoolExecutor | None = None
+        self.rebuilds = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def run(self) -> list:
+        metrics = TELEMETRY.metrics
+        try:
+            while not all(self.done):
+                if self.rebuilds > self.policy.max_pool_rebuilds:
+                    self._finish_serial()
+                    break
+                try:
+                    self._round()
+                except _PoolLost:
+                    continue
+        except KeyboardInterrupt:
+            metrics.counter("resilience.interrupted").inc()
+            raise
+        finally:
+            self._shutdown(kill=not all(self.done))
+        # Merge telemetry in submission order so gauge last-writer-wins
+        # matches what a serial run would have produced.
+        for dump in self.dumps:
+            if dump:
+                metrics.merge(dump)
+        return self.results
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self.pool is None:
+            context = multiprocessing.get_context("fork")
+            self.pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(self.items)),
+                mp_context=context, initializer=_init_worker,
+                initargs=(self.params, TELEMETRY.enabled, self.faults))
+        return self.pool
+
+    def _shutdown(self, kill: bool) -> None:
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        if not kill:
+            pool.shutdown(wait=True)
+            return
+        # A worker may be hung (or mid-cell): cancel whatever has not
+        # started and terminate the processes rather than joining them.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=5)
+            except (OSError, ValueError, AssertionError):
+                pass
+
+    # -- one submission round ------------------------------------------
+
+    def _site(self, index: int) -> str:
+        fn = self.fn
+        return f"{fn.__module__}.{fn.__qualname__}#{index}"
+
+    def _payload(self, index: int):
+        return (self.fn, self.items[index], self._site(index),
+                self.attempts[index])
+
+    def _submit(self, pool, index: int):
+        try:
+            return pool.submit(_run_cell, self._payload(index))
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self._pool_lost(reason=repr(exc))
+            raise _PoolLost from exc
+
+    def _round(self) -> None:
+        pool = self._ensure_pool()
+        pending = [i for i, finished in enumerate(self.done)
+                   if not finished]
+        futures = {i: self._submit(pool, i) for i in pending}
+        for i in pending:
+            while not self.done[i]:
+                try:
+                    result, dump = futures[i].result(
+                        timeout=self.policy.timeout)
+                except FuturesTimeout:
+                    self._on_timeout(i)  # raises _PoolLost
+                except BrokenProcessPool as exc:
+                    self._pool_lost(reason=repr(exc))
+                    raise _PoolLost from exc
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    self._on_error(i, exc)  # raises when out of budget
+                    futures[i] = self._submit(pool, i)
+                else:
+                    self.results[i] = result
+                    self.dumps[i] = dump
+                    self.done[i] = True
+
+    # -- failure handling ----------------------------------------------
+
+    def _on_timeout(self, index: int) -> None:
+        metrics = TELEMETRY.metrics
+        metrics.counter("resilience.timeouts").inc()
+        self.timeout_counts[index] += 1
+        self.attempts[index] += 1
+        if self.timeout_counts[index] > self.policy.max_retries:
+            raise ExperimentError(
+                f"cell {self._site(index)} exceeded its "
+                f"{self.policy.timeout}s timeout "
+                f"{self.timeout_counts[index]} times; giving up")
+        metrics.counter("resilience.retries", reason="timeout").inc()
+        # The hung worker cannot be cancelled in place: kill the pool
+        # and re-run every lost cell on a fresh one.
+        self._pool_lost(reason="cell timeout", bump_attempts=False)
+        raise _PoolLost
+
+    def _on_error(self, index: int, exc: Exception) -> None:
+        metrics = TELEMETRY.metrics
+        self.error_counts[index] += 1
+        self.attempts[index] += 1
+        if self.error_counts[index] > self.policy.max_retries:
+            metrics.counter("resilience.cell_failures").inc()
+            raise ExperimentError(
+                f"cell {self._site(index)} failed "
+                f"{self.error_counts[index]} times "
+                f"(last error: {exc!r}); giving up") from exc
+        metrics.counter("resilience.retries", reason="error").inc()
+        time.sleep(self.policy.backoff(self.error_counts[index]))
+
+    def _pool_lost(self, reason: str, bump_attempts: bool = True) -> None:
+        """Kill the (possibly broken) pool; schedule lost cells."""
+        metrics = TELEMETRY.metrics
+        metrics.counter("resilience.pool_rebuilds").inc()
+        self.rebuilds += 1
+        if bump_attempts:
+            for i, finished in enumerate(self.done):
+                if not finished:
+                    self.attempts[i] += 1
+                    metrics.counter("resilience.retries",
+                                    reason="crash").inc()
+        self._shutdown(kill=True)
+        time.sleep(self.policy.backoff(self.rebuilds))
+
+    # -- graceful degradation ------------------------------------------
+
+    def _finish_serial(self) -> None:
+        """The pool keeps dying: finish in-process, serially.
+
+        Worker-side fault injection never fires here (``_WORKER_FAULTS``
+        stays None in the parent), so even a 100%-crash plan completes.
+        """
+        metrics = TELEMETRY.metrics
+        metrics.counter("resilience.serial_fallbacks").inc()
+        for i, finished in enumerate(self.done):
+            if finished:
+                continue
+            metrics.counter("resilience.serial_cells").inc()
+            self.results[i] = self.fn(self.runner, *self.items[i])
+            self.done[i] = True

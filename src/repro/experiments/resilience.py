@@ -1,0 +1,392 @@
+"""Fault tolerance for long experiment campaigns.
+
+The figure families are multi-minute simulation campaigns; this module
+holds the pieces that let them survive crashed workers, hung cells,
+corrupt cache entries, and interrupted runs:
+
+* :class:`RetryPolicy` — how the supervised pool in
+  :mod:`~repro.experiments.parallel` retries: per-cell timeout, bounded
+  retries with exponential backoff, and how many pool rebuilds are
+  tolerated before degrading to in-process serial execution.
+* :class:`FaultPlan` / :class:`FaultSpec` — the deterministic
+  fault-injection harness behind the :data:`FAULTS_ENV` grammar. Tests
+  and the resilience smoke bench use it to *prove* every recovery path;
+  production runs never set it.
+* :func:`run_campaign` — the ``python -m repro figures --all`` driver:
+  regenerates every table/figure in one process through the shared
+  disk cache, journals per-figure completion to a checkpoint file so an
+  interrupted campaign resumes where it died, and records a wall-clock
+  budget per figure.
+
+Fault grammar (:data:`FAULTS_ENV`)::
+
+    REPRO_FAULTS=worker_crash:p=0.3,seed=7;cell_timeout:p=0.2,seed=2,sleep=5;cache_corrupt:p=0.25,seed=1
+
+Semicolon-separated fault kinds, each with ``key=value`` parameters:
+``p`` (probability, required), ``seed`` (default 0), and ``sleep``
+(``cell_timeout`` only: how long the injected hang lasts, seconds).
+Injection decisions are *deterministic*: whether a fault fires is a
+pure hash of ``(seed, kind, site, attempt)``, so a faulted run is
+reproducible and a retried cell makes progress (the retry is a
+different ``attempt``). Kinds:
+
+``worker_crash``
+    the worker process ``os._exit``\\ s before running its cell,
+    breaking the pool (exercises rebuild + lost-cell re-run).
+``cell_timeout``
+    the worker sleeps ``sleep`` seconds before its cell (exercises the
+    per-cell timeout, pool kill, and retry path).
+``cache_corrupt``
+    :class:`~repro.experiments.diskcache.DiskCache` flips bytes in the
+    ``.npz`` it just stored (exercises checksum verification,
+    quarantine, and recompute).
+
+Recovery is observable: the supervised pool and the disk cache count
+``resilience.retries``, ``resilience.pool_rebuilds``,
+``resilience.timeouts``, ``resilience.serial_fallbacks``,
+``cache.quarantined``, ``cache.orphans_removed`` and friends into the
+telemetry registry, so every manifest shows what was survived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ExperimentError
+from ..telemetry import TELEMETRY
+
+#: Fault-injection grammar (see module docstring).
+FAULTS_ENV = "REPRO_FAULTS"
+#: Per-cell timeout in seconds for supervised fan-out (unset = none).
+TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+#: Retry budget per cell for supervised fan-out.
+RETRIES_ENV = "REPRO_CELL_RETRIES"
+
+#: Journal filename for ``figures --all`` (lives under the cache root).
+CHECKPOINT_NAME = "figures.journal"
+#: Journal record schema; bump on incompatible layout changes.
+CHECKPOINT_SCHEMA = 1
+
+_FAULT_KINDS = frozenset({"worker_crash", "cell_timeout", "cache_corrupt"})
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind's injection parameters."""
+
+    kind: str
+    probability: float
+    seed: int = 0
+    #: ``cell_timeout`` only: how long the injected hang sleeps.
+    sleep_seconds: float = 30.0
+
+
+def _decide(seed: int, kind: str, site: str, attempt: int,
+            probability: float) -> bool:
+    """Pure decision: does this fault fire at this site and attempt?"""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    payload = f"{seed}|{kind}|{site}|{attempt}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64 < probability
+
+
+class FaultPlan:
+    """A parsed :data:`FAULTS_ENV` value: zero or more armed faults."""
+
+    def __init__(self, specs: dict[str, FaultSpec] | None = None) -> None:
+        self.specs = dict(specs or {})
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultPlan) and self.specs == other.specs
+
+    def __reduce__(self):
+        return (FaultPlan, (self.specs,))
+
+    def spec(self, kind: str) -> FaultSpec | None:
+        return self.specs.get(kind)
+
+    def should_fire(self, kind: str, site: str, attempt: int = 0) -> bool:
+        spec = self.specs.get(kind)
+        if spec is None:
+            return False
+        return _decide(spec.seed, kind, site, attempt, spec.probability)
+
+    @classmethod
+    def from_env(cls, text: str | None = None) -> "FaultPlan":
+        """Parse ``text`` (default: the :data:`FAULTS_ENV` variable)."""
+        if text is None:
+            text = os.environ.get(FAULTS_ENV, "")
+        return cls(parse_faults(text))
+
+
+def parse_faults(text: str) -> dict[str, FaultSpec]:
+    """Parse the :data:`FAULTS_ENV` grammar into specs (may be empty)."""
+    specs: dict[str, FaultSpec] = {}
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, params_text = clause.partition(":")
+        kind = kind.strip()
+        if kind not in _FAULT_KINDS:
+            raise ExperimentError(
+                f"{FAULTS_ENV}: unknown fault kind {kind!r} "
+                f"(choose from {', '.join(sorted(_FAULT_KINDS))})")
+        params: dict[str, str] = {}
+        for item in filter(None, (p.strip()
+                                  for p in params_text.split(","))):
+            name, sep, value = item.partition("=")
+            if not sep:
+                raise ExperimentError(
+                    f"{FAULTS_ENV}: expected key=value in {item!r}")
+            params[name.strip()] = value.strip()
+        unknown = set(params) - {"p", "seed", "sleep"}
+        if unknown:
+            raise ExperimentError(
+                f"{FAULTS_ENV}: unknown parameter(s) "
+                f"{', '.join(sorted(unknown))} for {kind}")
+        try:
+            probability = float(params.get("p", ""))
+        except ValueError:
+            raise ExperimentError(
+                f"{FAULTS_ENV}: {kind} needs p=<float> "
+                f"(got {params.get('p')!r})") from None
+        if not 0.0 <= probability <= 1.0:
+            raise ExperimentError(
+                f"{FAULTS_ENV}: {kind} p must be in [0, 1], "
+                f"got {probability}")
+        try:
+            seed = int(params.get("seed", "0"))
+            sleep_seconds = float(params.get("sleep", "30"))
+        except ValueError as exc:
+            raise ExperimentError(f"{FAULTS_ENV}: {kind}: {exc}") from None
+        specs[kind] = FaultSpec(kind=kind, probability=probability,
+                                seed=seed, sleep_seconds=sleep_seconds)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Supervision policy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How supervised fan-out retries failing cells.
+
+    ``timeout`` is the per-cell wall-clock limit (None = unlimited); a
+    timed-out cell's pool is killed and rebuilt, because a process-pool
+    worker cannot be cancelled in place. ``max_retries`` bounds retries
+    *per cell* for cell exceptions and timeouts; pool crashes are
+    instead bounded by ``max_pool_rebuilds``, after which remaining
+    cells degrade to in-process serial execution.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    timeout: float | None = None
+    max_pool_rebuilds: int = 3
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff delay before retry number ``attempt``."""
+        return min(self.backoff_base * (2.0 ** max(0, attempt - 1)),
+                   self.backoff_max)
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Defaults overridden by :data:`TIMEOUT_ENV`/:data:`RETRIES_ENV`."""
+        kwargs = {}
+        raw = os.environ.get(TIMEOUT_ENV, "").strip()
+        if raw:
+            try:
+                timeout = float(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"{TIMEOUT_ENV} must be seconds (float), "
+                    f"got {raw!r}") from None
+            kwargs["timeout"] = timeout if timeout > 0 else None
+        raw = os.environ.get(RETRIES_ENV, "").strip()
+        if raw:
+            try:
+                kwargs["max_retries"] = int(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"{RETRIES_ENV} must be an integer, "
+                    f"got {raw!r}") from None
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Checkpointed figure campaign (``python -m repro figures --all``)
+# ----------------------------------------------------------------------
+
+def default_checkpoint_path() -> Path:
+    """Journal location: under the cache root, or the cwd if cache off."""
+    from .diskcache import cache_root
+    root = cache_root()
+    if root is None:
+        return Path(".repro-figures.journal")
+    return root / CHECKPOINT_NAME
+
+
+def load_checkpoint(path: str | Path) -> dict[str, dict]:
+    """Read a journal: figure id -> most recent completion record.
+
+    The journal is append-only JSON lines; unreadable lines (from a
+    crash mid-append) are skipped, so a torn final record costs at most
+    one figure's worth of recomputation.
+    """
+    path = Path(path)
+    records: dict[str, dict] = {}
+    if not path.exists():
+        return records
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return records
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        if record.get("schema") != CHECKPOINT_SCHEMA:
+            continue
+        figure = record.get("figure")
+        if isinstance(figure, str):
+            records[figure] = record
+    return records
+
+
+def append_checkpoint(path: str | Path, record: dict) -> None:
+    """Append one completion record (flushed + fsynced: it is the
+    commit record an interrupted campaign resumes from)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps({"schema": CHECKPOINT_SCHEMA, **record},
+                      sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` invocation did."""
+
+    completed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    over_budget: list[str] = field(default_factory=list)
+    wall_seconds: dict[str, float] = field(default_factory=dict)
+    checkpoint: str = ""
+
+    def summary_rows(self) -> list[list[str]]:
+        rows = []
+        for name in self.skipped:
+            rows.append([name, "checkpointed", "-"])
+        for name in self.completed:
+            status = "over budget" if name in self.over_budget else "done"
+            rows.append([name, status,
+                         f"{self.wall_seconds.get(name, 0.0):.1f}s"])
+        return rows
+
+
+def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
+                 checkpoint: str | Path | None = None, fresh: bool = False,
+                 budget_seconds: float | None = None,
+                 emit=print) -> CampaignReport:
+    """Regenerate figures in one process, checkpointing each completion.
+
+    Completed figures (matching ``quick``) recorded in the journal are
+    skipped, so re-running after an interruption (SIGINT, crash, OOM
+    kill) resumes where the campaign died — everything the dead run
+    *did* finish is also warm in the shared disk cache. ``fresh=True``
+    discards the journal first. ``budget_seconds`` is a per-figure
+    wall-clock budget: exceeding it does not abort, but is flagged in
+    the summary and counted (``campaign.over_budget``).
+    """
+    from .diskcache import DiskCache
+    from .figures import ALL_FIGURES, figure_scale
+    names = list(names) if names else list(ALL_FIGURES)
+    unknown = [name for name in names if name not in ALL_FIGURES]
+    if unknown:
+        raise ExperimentError(
+            f"unknown figure(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(ALL_FIGURES)}")
+    path = Path(checkpoint) if checkpoint is not None \
+        else default_checkpoint_path()
+    if fresh:
+        path.unlink(missing_ok=True)
+    done = load_checkpoint(path)
+    # Self-heal before the long campaign: orphaned .tmp files from a
+    # previous kill never age into permanent litter.
+    DiskCache().sweep_tmp()
+    metrics = TELEMETRY.metrics
+    report = CampaignReport(checkpoint=str(path))
+    runners: dict[int, object] = {}
+    for name in names:
+        record = done.get(name)
+        if record is not None and record.get("quick") == quick:
+            report.skipped.append(name)
+            metrics.counter("campaign.figures_skipped").inc()
+            emit(f"-- {name}: done at checkpoint "
+                 f"({record.get('wall_seconds', 0.0):.1f}s last time), "
+                 "skipping")
+            continue
+        func = ALL_FIGURES[name]
+        scale = figure_scale(name)
+        runner = None
+        if scale is not None:
+            if scale not in runners:
+                from .runner import ExperimentRunner
+                runners[scale] = ExperimentRunner(scale=scale)
+            runner = runners[scale]
+        start = time.perf_counter()
+        with TELEMETRY.tracer.span("campaign.figure", figure=name):
+            if runner is None:
+                result = func()
+            else:
+                result = func(runner, quick=quick, jobs=jobs)
+        wall = time.perf_counter() - start
+        emit(str(result))
+        report.completed.append(name)
+        report.wall_seconds[name] = wall
+        metrics.counter("campaign.figures_run").inc()
+        over = budget_seconds is not None and wall > budget_seconds
+        if over:
+            report.over_budget.append(name)
+            metrics.counter("campaign.over_budget").inc()
+            emit(f"-- {name}: {wall:.1f}s exceeded the "
+                 f"{budget_seconds:.1f}s budget")
+        append_checkpoint(path, {
+            "figure": name,
+            "quick": quick,
+            "wall_seconds": round(wall, 3),
+            "budget_seconds": budget_seconds,
+            "over_budget": over,
+            "completed_unix": time.time(),
+        })
+    return report

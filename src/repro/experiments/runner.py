@@ -13,6 +13,11 @@ consults disk before re-computing. Repeated benchmark invocations —
 and parallel figure workers, which share the cache directory —
 therefore skip double interpretation entirely. ``REPRO_CACHE=off``
 restores the purely in-memory behavior.
+
+Disk entries are untrusted input: the cache verifies checksums and
+quarantines corrupt entries itself, and the runner additionally
+shape-checks loaded memory-side states against the trace they claim to
+describe — every failure is a recomputable miss, never an exception.
 """
 
 from __future__ import annotations
@@ -298,6 +303,15 @@ class ExperimentRunner:
             return state
         disk_key = content_key(self._state_key_params(handle, config))
         state = self.disk_cache.load_state(disk_key)
+        if state is not None and len(state.dlevel) != len(handle.trace):
+            # Checksums catch bit rot, not a state that parses cleanly
+            # but belongs to a different-length trace (e.g. a cache dir
+            # hand-copied across incompatible checkouts). Shape-check
+            # against the trace we are about to simulate and quarantine
+            # mismatches rather than poisoning the core models.
+            metrics.counter("cache.shape_mismatch", kind="states").inc()
+            self.disk_cache.quarantine("states", disk_key)
+            state = None
         if state is not None:
             metrics.counter("runner.state_cache.hit").inc()
             metrics.counter("runner.disk_cache.hit", kind="state").inc()

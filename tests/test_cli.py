@@ -57,6 +57,47 @@ def test_compile_error_is_reported(tmp_path, capsys):
     assert "error:" in capsys.readouterr().err
 
 
+def test_figures_campaign_runs_and_resumes(tmp_path, capsys):
+    journal = tmp_path / "campaign.journal"
+    argv = ["figures", "table1", "table2", "--checkpoint", str(journal)]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "2 run, 0 checkpointed" in captured.out
+    assert str(journal) in captured.err
+    assert main(argv) == 0
+    assert "0 run, 2 checkpointed" in capsys.readouterr().out
+
+
+def test_figures_requires_names_or_all(capsys):
+    assert main(["figures"]) == 1
+    assert "--all" in capsys.readouterr().err
+
+
+def test_figures_interrupt_exits_130(monkeypatch, capsys):
+    def interrupt(**_kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.experiments.resilience.run_campaign",
+                        interrupt)
+    assert main(["figures", "--all"]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_cache_stats_and_gc(capsys):
+    assert main(["figure", "table1"]) == 0  # warms the per-test cache
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    assert "disk cache:" in capsys.readouterr().out
+    assert main(["cache", "gc", "--max-mb", "0"]) == 0
+    assert "remain under" in capsys.readouterr().out
+
+
+def test_cache_commands_report_disabled_cache(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    assert main(["cache", "stats"]) == 1
+    assert "disabled" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

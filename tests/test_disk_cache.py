@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -12,10 +13,14 @@ from repro.config import scaled_config, skylake_config
 from repro.experiments.diskcache import (
     CACHE_DIR_ENV,
     CACHE_TOGGLE_ENV,
+    CACHE_VERIFY_ENV,
+    QUARANTINE_DIR,
     DiskCache,
     cache_root,
     content_key,
+    file_sha256,
 )
+from repro.experiments.resilience import FaultPlan, FaultSpec
 from repro.experiments.runner import ExperimentRunner, memory_side_key
 from repro.telemetry import TELEMETRY
 
@@ -157,7 +162,7 @@ def test_atomic_writes_leave_no_tmp_litter(tmp_path):
 
 def test_schema_salt_changes_every_key(monkeypatch):
     key = content_key({"x": 1})
-    monkeypatch.setattr("repro.experiments.diskcache.CACHE_SCHEMA", 2)
+    monkeypatch.setattr("repro.experiments.diskcache.CACHE_SCHEMA", 99)
     assert content_key({"x": 1}) != key
 
 
@@ -170,3 +175,230 @@ def test_sidecar_is_compact_json(tmp_path):
     assert meta["workload"] == "chaos"
     assert meta["runtime"] == "pypy"
     assert "site_table" in meta
+    assert len(meta["npz_sha256"]) == 64  # the pair's commit record
+
+
+# ----------------------------------------------------------------------
+# Corruption: quarantine exactly once, then recompute correctly
+# ----------------------------------------------------------------------
+
+_RUN = dict(workload="chaos", runtime="pypy", jit=True,
+            nursery=64 * 1024)
+
+
+def _counter(prefix):
+    return sum(v for k, v in TELEMETRY.metrics.snapshot().items()
+               if k.startswith(prefix))
+
+
+def _entry_paths(tmp_path, kind):
+    """The single (npz, sidecar) pair under one kind directory."""
+    directory = tmp_path / "cache" / kind
+    (npz,) = directory.glob("*.npz")
+    (meta,) = directory.glob("*.json")
+    return npz, meta
+
+
+def _quarantined_files(tmp_path):
+    quarantine = tmp_path / "cache" / QUARANTINE_DIR
+    return sorted(p.name for p in quarantine.iterdir()) \
+        if quarantine.is_dir() else []
+
+
+def _populate_trace(tmp_path):
+    writer = fresh_runner(tmp_path)
+    return writer.run(**_RUN)
+
+
+def _populate_state(tmp_path):
+    writer = fresh_runner(tmp_path)
+    handle = writer.run(**_RUN)
+    return writer.memory_side(handle, skylake_config())
+
+
+def test_truncated_trace_npz_quarantined_once_and_recomputed(tmp_path):
+    from repro import telemetry
+    original = _populate_trace(tmp_path)
+    npz, _ = _entry_paths(tmp_path, "traces")
+    npz.write_bytes(npz.read_bytes()[:100])
+    telemetry.enable()
+    telemetry.reset()
+    recomputed = fresh_runner(tmp_path).run(**_RUN)
+    for name, column in original.trace.arrays().items():
+        assert np.array_equal(column, recomputed.trace.arrays()[name])
+    assert _counter("cache.checksum_mismatch{kind=traces}") == 1
+    assert _counter("cache.quarantined{kind=traces}") == 1
+    assert len(_quarantined_files(tmp_path)) == 2  # npz + sidecar moved
+    # The recompute re-stored a clean entry: the next reader hits it
+    # without tripping quarantine again.
+    fresh_runner(tmp_path).run(**_RUN)
+    assert _counter("cache.quarantined{kind=traces}") == 1
+
+
+def test_truncated_npz_quarantined_even_without_verify(tmp_path,
+                                                       monkeypatch):
+    from repro import telemetry
+    monkeypatch.setenv(CACHE_VERIFY_ENV, "off")
+    original = _populate_trace(tmp_path)
+    npz, _ = _entry_paths(tmp_path, "traces")
+    npz.write_bytes(npz.read_bytes()[:100])
+    telemetry.enable()
+    telemetry.reset()
+    recomputed = fresh_runner(tmp_path).run(**_RUN)
+    assert np.array_equal(original.trace.arrays()["pc"],
+                          recomputed.trace.arrays()["pc"])
+    # No checksum pass ran, so the npz decoder caught it instead.
+    assert _counter("cache.checksum_mismatch") == 0
+    assert _counter("cache.quarantined{kind=traces}") == 1
+
+
+def test_invalid_json_sidecar_quarantined_once(tmp_path):
+    from repro import telemetry
+    original = _populate_trace(tmp_path)
+    _, meta = _entry_paths(tmp_path, "traces")
+    meta.write_text("{definitely not json", encoding="utf-8")
+    telemetry.enable()
+    telemetry.reset()
+    recomputed = fresh_runner(tmp_path).run(**_RUN)
+    assert recomputed.output == original.output
+    assert _counter("cache.quarantined{kind=traces}") == 1
+    assert len(_quarantined_files(tmp_path)) == 2
+
+
+def test_flipped_byte_in_state_npz_quarantined_and_recomputed(tmp_path):
+    from repro import telemetry
+    original = _populate_state(tmp_path)
+    npz, _ = _entry_paths(tmp_path, "states")
+    payload = bytearray(npz.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    npz.write_bytes(bytes(payload))
+    telemetry.enable()
+    telemetry.reset()
+    reader = fresh_runner(tmp_path)
+    recomputed = reader.memory_side(reader.run(**_RUN),
+                                    skylake_config())
+    assert np.array_equal(original.dlevel, recomputed.dlevel)
+    assert original.cache_stats == recomputed.cache_stats
+    assert _counter("cache.checksum_mismatch{kind=states}") == 1
+    assert _counter("cache.quarantined{kind=states}") == 1
+
+
+def test_orphaned_npz_is_removed_not_quarantined(tmp_path):
+    from repro import telemetry
+    original = _populate_trace(tmp_path)
+    npz, meta = _entry_paths(tmp_path, "traces")
+    meta.unlink()  # simulate a writer killed before the commit record
+    telemetry.enable()
+    telemetry.reset()
+    recomputed = fresh_runner(tmp_path).run(**_RUN)
+    assert recomputed.bytecodes == original.bytecodes
+    assert _counter("cache.orphans_removed{kind=traces}") == 1
+    assert _counter("cache.quarantined") == 0
+    assert _quarantined_files(tmp_path) == []
+
+
+def test_orphaned_sidecar_is_dropped(tmp_path):
+    from repro import telemetry
+    _populate_state(tmp_path)
+    npz, meta = _entry_paths(tmp_path, "states")
+    npz.unlink()
+    telemetry.enable()
+    telemetry.reset()
+    reader = fresh_runner(tmp_path)
+    state = reader.memory_side(reader.run(**_RUN), skylake_config())
+    assert state is not None
+    assert _counter("cache.orphans_removed{kind=states}") == 1
+    assert not meta.exists() or json.loads(meta.read_text())
+
+
+def test_sidecar_hash_tamper_detected_unless_verify_off(tmp_path,
+                                                        monkeypatch):
+    from repro import telemetry
+    _populate_trace(tmp_path)
+    npz, meta = _entry_paths(tmp_path, "traces")
+    record = json.loads(meta.read_text())
+    record["npz_sha256"] = "0" * 64
+    meta.write_text(json.dumps(record), encoding="utf-8")
+    telemetry.enable()
+    telemetry.reset()
+    monkeypatch.setenv(CACHE_VERIFY_ENV, "off")
+    fresh_runner(tmp_path).run(**_RUN)  # loads fine: no checksum pass
+    assert _counter("cache.quarantined") == 0
+    monkeypatch.delenv(CACHE_VERIFY_ENV)
+    fresh_runner(tmp_path).run(**_RUN)
+    assert _counter("cache.checksum_mismatch{kind=traces}") == 1
+    assert _counter("cache.quarantined{kind=traces}") == 1
+
+
+def test_injected_cache_corruption_round_trip(tmp_path):
+    from repro import telemetry
+    telemetry.enable()
+    telemetry.reset()
+    plan = FaultPlan({"cache_corrupt": FaultSpec("cache_corrupt", 1.0)})
+    writer = ExperimentRunner(
+        disk_cache=DiskCache(tmp_path / "cache", fault_plan=plan))
+    original = writer.run(**_RUN)
+    assert _counter("cache.faults_injected{kind=traces}") >= 1
+    npz, meta = _entry_paths(tmp_path, "traces")
+    assert file_sha256(npz) != json.loads(meta.read_text())["npz_sha256"]
+    recomputed = fresh_runner(tmp_path).run(**_RUN)
+    for name, column in original.trace.arrays().items():
+        assert np.array_equal(column, recomputed.trace.arrays()[name])
+    assert _counter("cache.quarantined{kind=traces}") == 1
+
+
+def test_stale_tmp_litter_is_swept(tmp_path):
+    from repro import telemetry
+    _populate_state(tmp_path)
+    root = tmp_path / "cache"
+    stale_a = root / "traces" / "dead.npz.tmp123"
+    stale_b = root / "states" / "dead.json.tmp9"
+    fresh = root / "traces" / "live.npz.tmp7"
+    for path in (stale_a, stale_b, fresh):
+        path.write_bytes(b"partial")
+    old = time.time() - 7200
+    os.utime(stale_a, (old, old))
+    os.utime(stale_b, (old, old))
+    telemetry.enable()
+    telemetry.reset()
+    cache = DiskCache(root)
+    assert cache.sweep_tmp() == 2
+    assert not stale_a.exists() and not stale_b.exists()
+    assert fresh.exists()  # young enough to belong to a live writer
+    assert _counter("cache.tmp_swept") == 2
+    # gc's sweep is unconditional: the survivor goes too.
+    assert cache.gc(max_bytes=1 << 40)["tmp_removed"] == 1
+
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    writer = fresh_runner(tmp_path)
+    writer.run(**_RUN)
+    writer.run("nbody", runtime="pypy", jit=True, nursery=64 * 1024)
+    cache = DiskCache(tmp_path / "cache")
+    sidecars = sorted((tmp_path / "cache" / "traces").glob("*.json"))
+    old = time.time() - 1000
+    os.utime(sidecars[0], (old, old))  # make one entry cold
+    hot = sidecars[1]
+    keep = hot.stat().st_size \
+        + hot.with_suffix(".npz").stat().st_size + 1024
+    stats = cache.gc(max_bytes=keep)
+    assert stats["evicted"] == 1
+    assert stats["kept_entries"] == 1
+    assert not sidecars[0].exists() and sidecars[1].exists()
+    assert cache.gc(max_bytes=0)["evicted"] == 1  # evicts the rest
+    assert cache.usage()["entries"] == 0
+
+
+def test_usage_counts_entries_and_quarantine(tmp_path):
+    _populate_state(tmp_path)
+    cache = DiskCache(tmp_path / "cache")
+    usage = cache.usage()
+    assert usage["traces"]["entries"] == 1
+    assert usage["states"]["entries"] == 1
+    assert usage["entries"] == 2
+    assert usage["bytes"] > 0
+    npz, _ = _entry_paths(tmp_path, "traces")
+    key = npz.stem
+    assert cache.quarantine("traces", key)
+    assert cache.usage()["quarantined_files"] == 2
+    assert cache.usage()["traces"]["entries"] == 0
