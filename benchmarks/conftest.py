@@ -40,6 +40,15 @@ def save_text(name: str, text: str) -> Path:
     return path
 
 
+def append_text(name: str, text: str) -> Path:
+    """Append a section to a results file (tests sharing one report)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    existing = path.read_text() if path.exists() else ""
+    path.write_text(existing + text + "\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def breakdown_runner():
     """Runner shared by the breakdown figures (scale 1)."""

@@ -1,11 +1,13 @@
-"""Memory-side throughput regression gate.
+"""Simulation-throughput regression gates.
 
-Fails the bench suite when the ``sim.memory_side`` stage (the span the
-telemetry tree attributes cache + branch simulation to) falls below
-half of the checked-in baseline throughput, so a change that quietly
-de-vectorizes the hot loops cannot land unnoticed.
+Fails the bench suite when a gated pipeline stage — ``sim.memory_side``
+(cache + branch simulation) or ``sim.core.ooo`` (the batched OOO core)
+— falls below half of its checked-in baseline throughput, so a change
+that quietly de-vectorizes a hot loop cannot land unnoticed. Both
+stages are read from the same telemetry gauge the production pipeline
+updates (``sim.instructions_per_second``).
 
-Refresh the baseline on the target machine with one command:
+Refresh the baselines on the target machine with one command:
 
     REPRO_REFRESH_BASELINES=1 python -m pytest \
         benchmarks/test_throughput_gate.py -q
@@ -31,49 +33,65 @@ REFRESH_ENV = "REPRO_REFRESH_BASELINES"
 GATE_FRACTION = 0.5
 
 
-def _measure_instructions_per_second(repeats: int = 3) -> tuple[int, float]:
+def _gauge(stage: str) -> float:
+    return TELEMETRY.metrics.snapshot().get(
+        f"sim.instructions_per_second{{stage={stage}}}", 0.0)
+
+
+def _measure(repeats: int = 3) -> dict:
+    """Best observed throughput per gated stage, instructions/second."""
     runner = ExperimentRunner(scale=2)
     handle = runner.run("deltablue", runtime="cpython")
-    system = SimulatedSystem(skylake_config())
-    best = 0.0
+    config = skylake_config()
+    system = SimulatedSystem(config)
+    best = {"sim.memory_side": 0.0, "sim.core.ooo": 0.0}
+    state = None
     for _ in range(repeats):
-        system.memory_side(handle.trace)
-        gauge = TELEMETRY.metrics.snapshot().get(
-            "sim.instructions_per_second{stage=memory_side}", 0.0)
-        best = max(best, gauge)
-    return len(handle.trace), best
+        state = system.memory_side(handle.trace)
+        best["sim.memory_side"] = max(best["sim.memory_side"],
+                                      _gauge("memory_side"))
+    for _ in range(repeats):
+        SimulatedSystem.run_many_configs(
+            handle.trace, [config], [state])
+        best["sim.core.ooo"] = max(best["sim.core.ooo"],
+                                   _gauge("core.ooo"))
+    return {"instructions": len(handle.trace), "best": best}
 
 
-def test_memory_side_throughput_gate():
-    instructions, measured = _measure_instructions_per_second()
-    assert measured > 0, "telemetry gauge missing for sim.memory_side"
+def test_simulation_throughput_gates():
+    measured = _measure()
+    instructions = measured["instructions"]
+    best = measured["best"]
+    for stage, value in best.items():
+        assert value > 0, f"telemetry gauge missing for {stage}"
     if os.environ.get(REFRESH_ENV, "").strip() not in ("", "0"):
         BASELINE_PATH.parent.mkdir(exist_ok=True)
         BASELINE_PATH.write_text(json.dumps({
-            "sim.memory_side": {
-                "instructions_per_second": measured,
+            stage: {
+                "instructions_per_second": value,
                 "workload": "deltablue",
                 "runtime": "cpython",
                 "scale": 2,
                 "trace_instructions": instructions,
-            }}, indent=2) + "\n")
+            } for stage, value in best.items()}, indent=2) + "\n")
     baseline = json.loads(BASELINE_PATH.read_text())
-    floor = baseline["sim.memory_side"]["instructions_per_second"] \
-        * GATE_FRACTION
-    save_text("throughput_gate", "\n".join([
-        "memory-side throughput gate (deltablue, cpython, scale 2)",
-        f"trace length : {instructions:,} instructions",
-        f"measured     : {measured:,.0f} instr/s (best of 3)",
-        f"baseline     : "
-        f"{baseline['sim.memory_side']['instructions_per_second']:,.0f}"
-        " instr/s",
-        f"gate         : >= {GATE_FRACTION:.0%} of baseline "
-        f"({floor:,.0f} instr/s)",
-        f"refresh with : {REFRESH_ENV}=1 python -m pytest "
-        "benchmarks/test_throughput_gate.py -q",
-    ]))
-    assert measured >= floor, (
-        f"sim.memory_side throughput {measured:,.0f} instr/s is below "
-        f"{GATE_FRACTION:.0%} of the checked-in baseline "
-        f"({floor:,.0f} instr/s); refresh with {REFRESH_ENV}=1 if the "
-        "machine legitimately changed")
+    lines = ["simulation throughput gates "
+             "(deltablue, cpython, scale 2)",
+             f"trace length : {instructions:,} instructions"]
+    failures = []
+    for stage, value in best.items():
+        base = baseline[stage]["instructions_per_second"]
+        floor = base * GATE_FRACTION
+        lines.append(f"{stage:16s}: {value:,.0f} instr/s "
+                     f"(baseline {base:,.0f}, gate >= {floor:,.0f})")
+        if value < floor:
+            failures.append(
+                f"{stage} throughput {value:,.0f} instr/s is below "
+                f"{GATE_FRACTION:.0%} of the checked-in baseline "
+                f"({floor:,.0f} instr/s)")
+    lines.append(f"refresh with : {REFRESH_ENV}=1 python -m pytest "
+                 "benchmarks/test_throughput_gate.py -q")
+    save_text("throughput_gate", "\n".join(lines))
+    assert not failures, "; ".join(
+        failures) + f"; refresh with {REFRESH_ENV}=1 if the machine " \
+        "legitimately changed"

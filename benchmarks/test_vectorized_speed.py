@@ -1,10 +1,12 @@
-"""Vectorized memory-side speedup on a 1M-instruction guest trace.
+"""Vectorized engine speedups on a 1M-instruction guest trace.
 
-Acceptance target for the vectorization work: the batched engines must
-be at least 5x faster than the scalar reference on a million-instruction
-trace while producing identical outputs. The measured numbers land in
-``benchmarks/results/vectorized_speed.txt``; the in-test assertion uses
-a 3x floor so shared-runner noise does not flake the suite.
+Acceptance targets for the vectorization work, all on the same
+million-instruction deltablue trace with bit-identical outputs: the
+batched memory-side engines at least 5x over the scalar reference, the
+OOO core at least 3x, and a warm Figure 7 sweep axis at least 2x via
+the batched config walk. The measured numbers land in
+``benchmarks/results/vectorized_speed.txt``; in-test assertion floors
+sit below the targets so shared-runner noise does not flake the suite.
 """
 
 from __future__ import annotations
@@ -13,8 +15,9 @@ import time
 
 import numpy as np
 
-from conftest import save_text
+from conftest import append_text, save_text
 
+from repro.analysis.sweeps import axis_config
 from repro.config import skylake_config
 from repro.experiments.runner import ExperimentRunner
 from repro.uarch.branch import simulate_branches, simulate_branches_scalar
@@ -22,6 +25,7 @@ from repro.uarch.cache import (
     simulate_cache_hierarchy,
     simulate_cache_hierarchy_scalar,
 )
+from repro.uarch.ooo_core import ooo_cycles, ooo_cycles_scalar
 
 _64K = 64 * 1024
 
@@ -84,3 +88,67 @@ def test_vectorized_speedup_on_megainstruction_trace():
         "for machine noise",
     ]))
     assert speedup >= 3.0, f"memory-side speedup regressed: {speedup:.2f}x"
+
+
+def test_ooo_core_speedup_on_megainstruction_trace():
+    """OOO core: vector backend >= 3x the scalar walk, same bits."""
+    runner = ExperimentRunner(scale=2)
+    handle = runner.run("deltablue", runtime="cpython")
+    arrays = handle.trace.arrays()
+    config = skylake_config()
+    state = runner.memory_side(handle, config)
+    n = len(handle.trace)
+    assert n >= 1_000_000
+
+    scalar_s, scalar_cycles = _best_of(
+        2, lambda: ooo_cycles_scalar(arrays, state.dlevel, state.ilevel,
+                                     state.mispredicted, config))
+    vector_s, vector_cycles = _best_of(
+        3, lambda: ooo_cycles(arrays, state.dlevel, state.ilevel,
+                              state.mispredicted, config,
+                              backend="vector"))
+    assert vector_cycles == scalar_cycles
+    speedup = scalar_s / vector_s
+    append_text("vectorized_speed", "\n".join([
+        "",
+        "OOO-core speedup (deltablue, cpython, scale 2)",
+        f"trace length        : {n:,} instructions",
+        f"core   scalar/vector: {scalar_s:.3f}s / {vector_s:.3f}s "
+        f"({speedup:.1f}x)",
+        "outputs             : bit-identical cycle counts",
+        "acceptance          : >= 3x on a 1M-instruction trace",
+    ]))
+    assert speedup >= 3.0, f"OOO-core speedup regressed: {speedup:.2f}x"
+
+
+def test_config_sweep_axis_batching_speedup():
+    """A warm Figure 7 axis through the batched walk >= 2x serial."""
+    runner = ExperimentRunner(scale=2)
+    handle = runner.run("deltablue", runtime="cpython")
+    base = skylake_config()
+    values = (2, 4, 8, 16, 32)
+    configs = [axis_config(base, "issue_width", value)
+               for value in values]
+    # Warm the memory-side state (shared by the whole axis) so both
+    # timings measure only the core walks, as in a warm fig7 cell.
+    runner.memory_side(handle, base)
+
+    serial_s, serial = _best_of(
+        2, lambda: [runner.simulate(handle, config, core="ooo").cycles
+                    for config in configs])
+    batched_s, batched = _best_of(
+        3, lambda: [sim.cycles for sim in runner.simulate_many_configs(
+            handle, configs, core="ooo")])
+    assert batched == serial
+    speedup = serial_s / batched_s
+    append_text("vectorized_speed", "\n".join([
+        "",
+        "config-axis batching (issue_width axis, warm states)",
+        f"axis points         : {len(configs)}",
+        f"serial / batched    : {serial_s:.3f}s / {batched_s:.3f}s "
+        f"({speedup:.1f}x)",
+        "outputs             : bit-identical cycle counts",
+        "acceptance          : >= 2x for a warm fig7 sweep axis; "
+        "assertion floor 1.5x for machine noise",
+    ]))
+    assert speedup >= 1.5, f"axis batching regressed: {speedup:.2f}x"

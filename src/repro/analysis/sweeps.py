@@ -98,13 +98,12 @@ def _variant_cell(runner: ExperimentRunner, label: str, runtime: str,
     """
     handle = runner.run(workload, runtime=runtime, jit=jit,
                         nursery=nursery)
-    cpis: dict[tuple, float] = {}
-    for axis, values in axes.items():
-        for value in values:
-            config = axis_config(base, axis, value)
-            sim = runner.simulate(handle, config, core="ooo")
-            cpis[(axis, label, value)] = sim.cpi
-    return cpis
+    points = [(axis, value)
+              for axis, values in axes.items() for value in values]
+    configs = [axis_config(base, axis, value) for axis, value in points]
+    sims = runner.simulate_many_configs(handle, configs, core="ooo")
+    return {(axis, label, value): sim.cpi
+            for (axis, value), sim in zip(points, sims)}
 
 
 def run_sweep(runner: ExperimentRunner, workloads,
@@ -126,10 +125,18 @@ def run_sweep(runner: ExperimentRunner, workloads,
     if axes is None:
         axes = {name: values for name, (values, _) in SWEEP_AXES.items()}
     from ..experiments.parallel import fan_out
+    from ..experiments.runner import memory_side_key
     result = SweepResult(axes=dict(axes))
     cells = [(label, runtime, jit, workload, dict(axes), base, nursery)
              for label, runtime, jit in variants
              for workload in workloads]
+    # Size the runner's caches to this sweep's own grid: one trace per
+    # (variant, workload) cell, one memory-side state per distinct
+    # memory geometry the axes touch (latency/width axes share one).
+    mem_keys = {memory_side_key(axis_config(base, axis, value))
+                for axis, values in axes.items() for value in values}
+    runner.ensure_cache_capacity(
+        traces=len(cells), states=len(cells) * len(mem_keys))
     sums: dict[tuple, float] = {}
     for cell_cpis in fan_out(runner, _variant_cell, cells, jobs):
         for key, cpi in cell_cpis.items():

@@ -59,7 +59,7 @@ from ..workloads import (
     SWEEP_BENCHMARKS,
 )
 from .parallel import fan_out
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, memory_side_key
 
 MB = 1024 * 1024
 
@@ -128,6 +128,11 @@ def _prefetch_sweeps(runner: ExperimentRunner, cells: list[dict],
     identical to a fully serial run.
     """
     from .parallel import resolve_jobs
+    # One trace and one memory-side state per (sweep cell, ratio point):
+    # size the runner's caches to the figure's own grid up front.
+    points = sum(len(cell.get("ratios", NURSERY_RATIOS))
+                 for cell in cells)
+    runner.ensure_cache_capacity(traces=points, states=points)
     if resolve_jobs(jobs) <= 1:
         return
     memo = sweep_memo(runner)
@@ -162,9 +167,10 @@ def _fig8_cell(runner: ExperimentRunner, workload: str, axis: str,
                values: tuple, base):
     handle = runner.run(workload, runtime="pypy", jit=True,
                         nursery=1 * MB)
-    return [runner.simulate(handle, axis_config(base, axis, value),
-                            core="ooo").cpi
-            for value in values]
+    configs = [axis_config(base, axis, value) for value in values]
+    return [sim.cpi
+            for sim in runner.simulate_many_configs(handle, configs,
+                                                    core="ooo")]
 
 
 def _fig13_cell(runner: ExperimentRunner, workload: str, jit: bool,
@@ -380,6 +386,10 @@ def fig8(runner: ExperimentRunner | None = None, quick: bool = True,
     cells = [(workload, axis, values, base)
              for axis, values in axes.items()
              for workload in workloads]
+    mem_keys = {memory_side_key(axis_config(base, axis, value))
+                for axis, values in axes.items() for value in values}
+    runner.ensure_cache_capacity(
+        traces=len(workloads), states=len(workloads) * len(mem_keys))
     results = fan_out(runner, _fig8_cell, cells, jobs)
     cpis_by_cell = {(axis, workload): cpis
                     for (workload, axis, _, _), cpis

@@ -125,6 +125,10 @@ class ExperimentRunner:
     #: benchmarks/results/telemetry_smoke.txt).
     TRACE_CACHE_SIZE = 16
     STATE_CACHE_SIZE = 48
+    #: Hard ceilings for :meth:`ensure_cache_capacity` — a huge grid
+    #: degrades to LRU thrashing rather than unbounded memory use.
+    TRACE_CACHE_CAP = 64
+    STATE_CACHE_CAP = 256
 
     def __init__(self, scale: int = 1, max_instructions: int = 120_000_000,
                  trace_cache_size: int = TRACE_CACHE_SIZE,
@@ -342,6 +346,50 @@ class ExperimentRunner:
                                    runtime=handle.runtime, core=core):
             system = SimulatedSystem(config)
             return system.run(handle.trace, core=core, state=state)
+
+    def simulate_many_configs(self, handle: RunHandle, configs,
+                              core: str = "ooo") -> list:
+        """Timing results for one run under many machine configurations.
+
+        Memory-side states are computed (or fetched) once per distinct
+        memory-side geometry, then the whole batch goes through
+        :meth:`SimulatedSystem.run_many_configs`, which walks the trace
+        once per distinct state instead of once per config. Results are
+        bit-identical to per-config :meth:`simulate` calls, in input
+        order.
+        """
+        states = [self.memory_side(handle, config) for config in configs]
+        with TELEMETRY.tracer.span("sim.core_batch",
+                                   workload=handle.workload,
+                                   runtime=handle.runtime, core=core,
+                                   configs=len(configs)):
+            return SimulatedSystem.run_many_configs(
+                handle.trace, configs, states, core=core)
+
+    def ensure_cache_capacity(self, traces: int | None = None,
+                              states: int | None = None) -> None:
+        """Grow the in-memory caches to fit a figure's grid shape.
+
+        Figure harnesses call this with the number of live traces and
+        memory-side states their grid touches, so capacity follows the
+        requested grid instead of the fixed defaults. Growth only (a
+        running figure never shrinks a cache another figure grew), and
+        capped so a huge grid degrades to LRU thrash instead of
+        unbounded memory.
+        """
+        if traces is not None:
+            self._trace_cache_size = min(
+                max(self._trace_cache_size, traces),
+                self.TRACE_CACHE_CAP)
+        if states is not None:
+            self._state_cache_size = min(
+                max(self._state_cache_size, states),
+                self.STATE_CACHE_CAP)
+        metrics = TELEMETRY.metrics
+        metrics.gauge("runner.trace_cache.capacity").set(
+            self._trace_cache_size)
+        metrics.gauge("runner.state_cache.capacity").set(
+            self._state_cache_size)
 
     # ------------------------------------------------------------------
     # Parallel fan-out

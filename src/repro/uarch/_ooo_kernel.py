@@ -1,0 +1,249 @@
+"""Optional compiled kernel for the OOO-core recurrence.
+
+The OOO model is a pure forward max-plus recurrence over integer ticks
+(:func:`~repro.uarch.ooo_core.ooo_cycles_scalar`), so a ~60-line C loop
+reproduces it bit for bit at memory speed. When a C compiler is
+available this module builds that loop into a per-process shared
+library (one ``cc -O2`` invocation, cached for the process lifetime)
+and the vectorized backend dispatches single-config walks to it,
+releasing the GIL so config sweeps can also thread. Everything is
+best-effort: no compiler, a failed build, or ``REPRO_OOO_KERNEL=off``
+all degrade silently to the batched-NumPy engine.
+
+This is deliberately *not* a build-time extension: the repository must
+stay importable from source with nothing but numpy, so the kernel is
+an opportunistic accelerator with the same contract as the pure-Python
+engines — bit-identical results for every trace and config.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+
+import numpy as np
+
+#: Environment switch: ``auto`` (default) compiles when possible,
+#: ``off`` disables the kernel entirely (pure-NumPy vector path).
+KERNEL_ENV = "REPRO_OOO_KERNEL"
+
+_MAX_MSHRS = 64
+
+_SOURCE = r"""
+#include <stdint.h>
+
+#define MAX_MSHRS 64
+
+void ooo_kernel(int64_t n,
+                const int64_t *kind, const int64_t *dep,
+                const int64_t *dlev, const int64_t *ilev,
+                const uint8_t *misp,
+                int64_t front_interval, int64_t rob, int64_t penalty,
+                const int64_t *load_lat,   /* 4 entries */
+                const int64_t *fetch_pen,  /* 4 entries */
+                const int64_t *kind_lat,   /* per-kind latency */
+                int64_t kind_load, int64_t kind_store,
+                int64_t store_latency,
+                int64_t line_size, int64_t tpb, int64_t mem_latency,
+                int64_t mshrs,
+                int64_t ring_mask, int64_t *fin,  /* ring_mask + 1 */
+                int64_t *out /* [1]: total ticks */)
+{
+    int64_t front = 0, mem_bytes = 0, last_finish = 0;
+    int64_t miss_ring[MAX_MSHRS] = {0};
+    int64_t miss_count = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t start = front;
+        front += front_interval;
+        int64_t level = ilev[i];
+        if (level > 0) {
+            int64_t bubble = fetch_pen[level];
+            front += bubble;
+            start += bubble;
+            if (level == 3) mem_bytes += line_size;
+        }
+        int64_t d = dep[i];
+        if (d > 0 && d <= i) {
+            int64_t p = fin[(i - d) & ring_mask];
+            if (p > start) start = p;
+        }
+        if (i >= rob) {
+            int64_t o = fin[(i - rob) & ring_mask];
+            if (o > start) start = o;
+        }
+        int64_t k = kind[i];
+        int64_t latency;
+        if (k == kind_load || k == kind_store) {
+            int64_t service = dlev[i];
+            if (service == 3) {
+                mem_bytes += line_size;
+                int64_t bus_ready = mem_bytes * tpb - mem_latency;
+                if (bus_ready > start) start = bus_ready;
+                int64_t slot = miss_count % mshrs;
+                if (miss_ring[slot] > start) start = miss_ring[slot];
+                miss_ring[slot] = start + mem_latency;
+                miss_count++;
+            }
+            if (k == kind_store)
+                latency = store_latency;
+            else
+                latency = service >= 0 ? load_lat[service] : kind_lat[k];
+        } else {
+            latency = kind_lat[k];
+        }
+        int64_t finish = start + latency;
+        fin[i & ring_mask] = finish;
+        if (finish > last_finish) last_finish = finish;
+        if (misp[i]) {
+            int64_t restart = finish + penalty;
+            if (restart > front) front = restart;
+        }
+    }
+    out[0] = last_finish > front ? last_finish : front;
+}
+"""
+
+_lock = threading.Lock()
+_kernel = None
+_kernel_tried = False
+
+
+def _build() -> ctypes.CDLL | None:
+    cc = (os.environ.get("CC") or shutil.which("cc")
+          or shutil.which("gcc") or shutil.which("clang"))
+    if cc is None:
+        return None
+    tmpdir = tempfile.mkdtemp(prefix="repro-ooo-kernel-")
+    atexit.register(shutil.rmtree, tmpdir, ignore_errors=True)
+    src = os.path.join(tmpdir, "ooo_kernel.c")
+    suffix = ".dylib" if sys.platform == "darwin" else ".so"
+    lib = os.path.join(tmpdir, "ooo_kernel" + suffix)
+    with open(src, "w", encoding="utf-8") as fh:
+        fh.write(_SOURCE)
+    cmd = [cc, "-O2", "-shared", "-fPIC", "-o", lib, src]
+    try:
+        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+        dll = ctypes.CDLL(lib)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    i64 = ctypes.c_int64
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    pu8 = ctypes.POINTER(ctypes.c_uint8)
+    dll.ooo_kernel.restype = None
+    dll.ooo_kernel.argtypes = [
+        i64, p64, p64, p64, p64, pu8,
+        i64, i64, i64, p64, p64, p64,
+        i64, i64, i64, i64, i64, i64, i64,
+        i64, p64, p64,
+    ]
+    return dll
+
+
+def get_kernel() -> ctypes.CDLL | None:
+    """The compiled kernel, building it on first use (or ``None``)."""
+    global _kernel, _kernel_tried
+    if os.environ.get(KERNEL_ENV, "auto").lower() in ("off", "0", "no"):
+        return None
+    with _lock:
+        if not _kernel_tried:
+            _kernel_tried = True
+            _kernel = _build()
+    return _kernel
+
+
+def kernel_available() -> bool:
+    return get_kernel() is not None
+
+
+def _as_i64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+class PreparedTrace:
+    """Kernel-ready int64 views of one trace + memory-side state.
+
+    Conversions and the dep-column scan cost a few milliseconds on a
+    million-instruction trace; preparing once lets a batched config
+    sweep pay them once instead of once per config.
+    """
+
+    __slots__ = ("n", "kind", "dep", "dlev", "ilev", "misp", "max_dep")
+
+    def __init__(self, trace_arrays, dlevel, ilevel,
+                 mispredicted) -> None:
+        self.n = len(trace_arrays["pc"])
+        self.kind = _as_i64(trace_arrays["kind"])
+        self.dep = _as_i64(trace_arrays["dep"])
+        self.dlev = _as_i64(dlevel)
+        self.ilev = _as_i64(ilevel)
+        self.misp = np.ascontiguousarray(mispredicted, dtype=np.uint8)
+        self.max_dep = 0
+        if self.n:
+            valid = ((self.dep > 0)
+                     & (self.dep <= np.arange(self.n, dtype=np.int64)))
+            if valid.any():
+                self.max_dep = int(self.dep[valid].max())
+
+
+def prepare(trace_arrays, dlevel, ilevel, mispredicted) -> PreparedTrace:
+    return PreparedTrace(trace_arrays, dlevel, ilevel, mispredicted)
+
+
+def run_prepared(prep: PreparedTrace, config) -> float:
+    """One compiled walk of a prepared trace; == the scalar loop.
+
+    Callers must check :func:`kernel_available` first.
+    """
+    from .ooo_core import (KIND_LATENCY_TICKS, MSHRS, TICKS, _RING,
+                           _fetch_penalties, _load_latencies,
+                           front_interval_ticks, ticks_per_byte,
+                           _LOAD, _STORE)
+    dll = get_kernel()
+    n = prep.n
+    if n == 0:
+        return 0.0
+    if MSHRS > _MAX_MSHRS:  # pragma: no cover - compile-time constant
+        raise ValueError("MSHRS exceeds the kernel's ring capacity")
+    load_lat = _as_i64(_load_latencies(config))
+    fetch_pen = _as_i64(_fetch_penalties(config))
+    kind_lat = _as_i64(KIND_LATENCY_TICKS)
+    # Same growth rule as ooo_core.ring_size, off the prescanned dep max.
+    need = max(min(config.core.rob_entries, n - 1), prep.max_dep)
+    ring = _RING
+    while ring <= need:
+        ring <<= 1
+    fin = np.zeros(ring, dtype=np.int64)
+    out = np.zeros(1, dtype=np.int64)
+
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    pu8 = ctypes.POINTER(ctypes.c_uint8)
+
+    def p(a):
+        return a.ctypes.data_as(p64)
+
+    dll.ooo_kernel(
+        n, p(prep.kind), p(prep.dep), p(prep.dlev), p(prep.ilev),
+        prep.misp.ctypes.data_as(pu8),
+        front_interval_ticks(config), config.core.rob_entries,
+        config.branch.mispredict_penalty * TICKS,
+        p(load_lat), p(fetch_pen), p(kind_lat),
+        _LOAD, _STORE, TICKS,
+        config.l1d.line_size, ticks_per_byte(config),
+        config.memory.latency * TICKS, MSHRS,
+        ring - 1, p(fin), p(out))
+    return out[0] / TICKS
+
+
+def run_kernel(trace_arrays, dlevel, ilevel, mispredicted, config) -> float:
+    """One compiled walk of the trace; bit-identical to the scalar loop.
+
+    Callers must check :func:`kernel_available` first.
+    """
+    return run_prepared(
+        prepare(trace_arrays, dlevel, ilevel, mispredicted), config)

@@ -20,7 +20,7 @@ from ..host.trace import InstructionTrace
 from ..telemetry import TELEMETRY
 from .branch import BranchStats, simulate_branches
 from .cache import CacheStats, simulate_cache_hierarchy
-from .ooo_core import ooo_cycles
+from .ooo_core import ooo_cycles, ooo_cycles_many
 from .simple_core import attribute_cycles, simple_core_cycles
 
 
@@ -104,12 +104,16 @@ class SimulatedSystem:
             branch_stats=branch_stats)
 
     def run(self, trace: InstructionTrace, core: str = "ooo",
-            state: MemorySideState | None = None) -> SimResult:
+            state: MemorySideState | None = None,
+            backend: str | None = None) -> SimResult:
         """Simulate the trace end to end.
 
         ``core`` selects the timing model: ``"simple"`` for per-category
         attribution (Section IV-B.2) or ``"ooo"`` for the sweeps.
-        A precomputed ``state`` may be passed to reuse memory-side results.
+        A precomputed ``state`` may be passed to reuse memory-side
+        results. ``backend`` selects the core engine
+        (``auto``/``vector``/``scalar``; default ``REPRO_SIM_BACKEND``) —
+        all backends are bit-identical.
         """
         arrays = trace.arrays()
         if state is None:
@@ -132,7 +136,8 @@ class SimulatedSystem:
                 per_instruction=per_instruction)
         if core == "ooo":
             cycles = ooo_cycles(arrays, state.dlevel, state.ilevel,
-                                state.mispredicted, self.config)
+                                state.mispredicted, self.config,
+                                backend=backend)
             if TELEMETRY.enabled:
                 self._note_throughput("core.ooo", len(trace),
                                       time.perf_counter() - start)
@@ -141,3 +146,38 @@ class SimulatedSystem:
                 cache_stats=state.cache_stats,
                 branch_stats=state.branch_stats)
         raise ValueError(f"unknown core model: {core!r}")
+
+    @staticmethod
+    def run_many_configs(trace: InstructionTrace, configs,
+                         states, core: str = "ooo",
+                         backend: str | None = None) -> list[SimResult]:
+        """Simulate one trace under many configs in batched walks.
+
+        ``configs`` and ``states`` are parallel sequences; configs that
+        share a :class:`MemorySideState` *object* (a latency/bandwidth/
+        issue-width axis over one trace) are evaluated together by the
+        batched OOO engine, so the trace is walked once per distinct
+        state instead of once per config. Results are bit-identical to
+        per-config :meth:`run` calls, in input order.
+        """
+        if len(states) != len(configs):
+            raise ValueError("states and configs must be parallel "
+                             "sequences")
+        if core != "ooo":
+            return [SimulatedSystem(config).run(trace, core=core,
+                                                state=state,
+                                                backend=backend)
+                    for config, state in zip(configs, states)]
+        arrays = trace.arrays()
+        start = time.perf_counter() if TELEMETRY.enabled else 0.0
+        cycles = ooo_cycles_many(arrays, states, configs,
+                                 backend=backend)
+        if TELEMETRY.enabled and cycles:
+            SimulatedSystem._note_throughput(
+                "core.ooo", len(trace) * len(configs),
+                time.perf_counter() - start)
+        return [SimResult(instructions=len(trace), cycles=c,
+                          core_model="ooo",
+                          cache_stats=state.cache_stats,
+                          branch_stats=state.branch_stats)
+                for c, state in zip(cycles, states)]

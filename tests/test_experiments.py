@@ -60,6 +60,76 @@ def test_simulate_cores():
     assert 0.2 < ooo.cycles / simple.cycles < 5.0
 
 
+def test_simulate_many_configs_matches_serial():
+    runner = ExperimentRunner(scale=1)
+    handle = runner.run("sym_sum", runtime="cpython")
+    base = skylake_config()
+    # Mixed memory geometries: some configs share a memory-side state
+    # (issue width / latency), some need their own (LLC / line size).
+    configs = [base, base.with_issue_width(8),
+               base.with_memory_latency(400),
+               base.with_llc_size(512 * 1024), base.with_line_size(128),
+               base.with_memory_bandwidth(200)]
+    serial = [runner.simulate(handle, config, core="ooo")
+              for config in configs]
+    batched = runner.simulate_many_configs(handle, configs, core="ooo")
+    assert [sim.cycles for sim in batched] \
+        == [sim.cycles for sim in serial]
+    assert [sim.cpi for sim in batched] == [sim.cpi for sim in serial]
+
+
+def test_ensure_cache_capacity_grow_only_and_capped():
+    from repro import telemetry
+    telemetry.enable()
+    telemetry.reset()
+    runner = ExperimentRunner(scale=1)
+    before_traces = runner._trace_cache_size
+    runner.ensure_cache_capacity(traces=before_traces + 8,
+                                 states=before_traces + 40)
+    assert runner._trace_cache_size == before_traces + 8
+    # Growth only: a smaller figure never shrinks another figure's grid.
+    runner.ensure_cache_capacity(traces=2, states=2)
+    assert runner._trace_cache_size == before_traces + 8
+    # Capped: huge grids degrade to LRU instead of unbounded memory.
+    runner.ensure_cache_capacity(traces=10_000, states=10_000)
+    assert runner._trace_cache_size == ExperimentRunner.TRACE_CACHE_CAP
+    assert runner._state_cache_size == ExperimentRunner.STATE_CACHE_CAP
+    snapshot = telemetry.TELEMETRY.metrics.snapshot()
+    assert snapshot["runner.trace_cache.capacity"] \
+        == ExperimentRunner.TRACE_CACHE_CAP
+    assert snapshot["runner.state_cache.capacity"] \
+        == ExperimentRunner.STATE_CACHE_CAP
+    telemetry.disable()
+
+
+def test_adaptive_capacity_keeps_grid_resident():
+    """A grid bigger than the default cache stays hot once grown.
+
+    Telemetry hit counters prove it: with capacity sized to the grid, a
+    second pass over the same (workload, nursery) points re-misses
+    nothing — the regression the nursery figures would otherwise hit.
+    """
+    from repro import telemetry
+    runner = ExperimentRunner(scale=1, trace_cache_size=2)
+    nurseries = [64 * 1024 * (i + 1) for i in range(4)]
+    runner.ensure_cache_capacity(traces=len(nurseries),
+                                 states=len(nurseries))
+    first = [runner.run("sym_sum", runtime="pypy", jit=True, nursery=nb)
+             for nb in nurseries]
+    telemetry.enable()
+    telemetry.reset()
+    second = [runner.run("sym_sum", runtime="pypy", jit=True, nursery=nb)
+              for nb in nurseries]
+    assert all(a is b for a, b in zip(first, second))
+    snapshot = telemetry.TELEMETRY.metrics.snapshot()
+    misses = sum(v for k, v in snapshot.items()
+                 if k.startswith("runner.trace_cache.miss"))
+    hits = sum(v for k, v in snapshot.items()
+               if k.startswith("runner.trace_cache.hit"))
+    assert misses == 0 and hits == len(nurseries)
+    telemetry.disable()
+
+
 def test_axis_config_errors():
     with pytest.raises(ExperimentError):
         axis_config(skylake_config(), "voltage", 1.0)

@@ -8,6 +8,7 @@ from repro.analysis.sweeps import (
     SweepResult,
     axis_config,
     phase_cpis,
+    quick_axes,
     run_sweep,
 )
 from repro.config import skylake_config
@@ -49,6 +50,31 @@ def test_run_sweep_tiny():
     for values in series.values():
         assert len(values) == 2
         assert values[1] >= values[0]  # slower memory never helps
+
+
+def test_run_sweep_identical_across_backends_and_jobs(monkeypatch):
+    """The Figure 7/9 engine: same grid bytes for every backend/jobs.
+
+    Covers the batched ``simulate_many_configs`` path (vector, with and
+    without the compiled kernel) against the scalar reference, and the
+    ``jobs`` fan-out against the serial loop — all must agree exactly.
+    """
+    axes = quick_axes()
+    results = {}
+    for name, backend, kernel in (("scalar", "scalar", "auto"),
+                                  ("numpy", "vector", "off"),
+                                  ("kernel", "vector", "auto"),
+                                  ("auto", "auto", "auto")):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", backend)
+        monkeypatch.setenv("REPRO_OOO_KERNEL", kernel)
+        runner = ExperimentRunner(scale=1)
+        results[name] = run_sweep(runner, ["sym_sum"], axes=axes).cpi
+    assert results["scalar"] == results["numpy"] == results["kernel"] \
+        == results["auto"]
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "auto")
+    parallel = run_sweep(ExperimentRunner(scale=1), ["sym_sum"],
+                         axes=axes, jobs=2)
+    assert parallel.cpi == results["auto"]
 
 
 def test_phase_cpis_cover_execution():

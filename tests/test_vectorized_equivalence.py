@@ -1,13 +1,17 @@
-"""Vectorized memory-side engines must match the scalar reference.
+"""Vectorized engines must match the scalar references bit for bit.
 
 Property-style checks: randomized traces (hot/cold address mixes,
-conditional/indirect branch patterns) run through both the scalar and
-the vectorized cache/branch engines, and every output the rest of the
-pipeline consumes — per-instruction service levels, mispredict flags,
-aggregate statistics — must be bit-identical.
+conditional/indirect branch patterns, dependence forests with long
+edges) run through both the scalar and the vectorized cache/branch/OOO
+engines, and every output the rest of the pipeline consumes — per-
+instruction service levels, mispredict flags, aggregate statistics,
+core cycle counts — must be bit-identical for every chunk size and for
+single- and batched-config walks alike.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -18,7 +22,14 @@ from repro.config import (
     scaled_config,
     skylake_config,
 )
-from repro.host.isa import FLAG_COND, FLAG_INDIRECT, FLAG_TAKEN, InstrKind
+from repro.host.isa import (
+    FLAG_COND,
+    FLAG_INDIRECT,
+    FLAG_TAKEN,
+    KIND_LATENCY,
+    InstrKind,
+)
+from repro.uarch import _ooo_kernel
 from repro.uarch.branch import (
     simulate_branches,
     simulate_branches_scalar,
@@ -27,6 +38,15 @@ from repro.uarch.cache import (
     simulate_cache_hierarchy,
     simulate_cache_hierarchy_scalar,
 )
+from repro.uarch.ooo_core import (
+    KIND_LATENCY_TICKS,
+    TICKS,
+    ooo_cycles,
+    ooo_cycles_many,
+    ooo_cycles_scalar,
+    ring_size,
+)
+from repro.uarch.ooo_vector import CHUNK_ENV, ooo_cycles_many_vector
 
 _KINDS = (InstrKind.ALU, InstrKind.LOAD, InstrKind.STORE,
           InstrKind.BRANCH, InstrKind.ICALL, InstrKind.CALL,
@@ -115,6 +135,154 @@ def test_empty_trace_all_backends():
         assert len(result.dlevel) == 0
         mis, _ = simulate_branches(arrays, config.branch, backend=backend)
         assert len(mis) == 0
+
+
+# ----------------------------------------------------------------------
+# OOO core: scalar reference vs chunked/batched vector engine vs kernel
+# ----------------------------------------------------------------------
+
+_LOAD = int(InstrKind.LOAD)
+_STORE = int(InstrKind.STORE)
+
+
+def random_ooo_inputs(seed: int, n: int, max_dep: int = 300):
+    """Synthetic OOO-core inputs: dep forests, misses, mispredicts."""
+    rng = np.random.default_rng(seed)
+    kinds = rng.integers(0, len(InstrKind), n).astype(np.int64)
+    dep = rng.integers(0, 4, n).astype(np.int64)
+    big = rng.random(n) < 0.03
+    dep[big] = rng.integers(1, max_dep, int(big.sum()))
+    dl = np.where(rng.random(n) < 0.1,
+                  rng.integers(0, 4, n), -1).astype(np.int64)
+    kinds[dl >= 0] = _LOAD
+    stores = rng.random(n) < 0.05
+    kinds[stores] = _STORE
+    dl[stores] = np.where(rng.random(int(stores.sum())) < 0.3, 3, 0)
+    il = np.where(rng.random(n) < 0.05,
+                  rng.integers(1, 4, n), 0).astype(np.int64)
+    misp = rng.random(n) < 0.03
+    trace = {"pc": np.arange(n, dtype=np.int64), "kind": kinds,
+             "dep": dep}
+    return trace, dl, il, misp
+
+
+def _ooo_sweep_configs() -> list[MachineConfig]:
+    base = skylake_config()
+    small_rob = dataclasses.replace(
+        base, core=dataclasses.replace(base.core, rob_entries=64))
+    return [base, scaled_config(2), small_rob, base.with_issue_width(8),
+            base.with_memory_latency(400),
+            base.with_memory_bandwidth(200)]
+
+
+@pytest.mark.parametrize("chunk", [7, 1000, 16384])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_ooo_vector_bit_identical_any_chunk(seed, chunk, monkeypatch):
+    """NumPy relaxation path == scalar loop for any chunk size."""
+    monkeypatch.setenv(_ooo_kernel.KERNEL_ENV, "off")
+    monkeypatch.setenv(CHUNK_ENV, str(chunk))
+    configs = _ooo_sweep_configs()
+    for n in (1, 3, 17, 1000, 5000):
+        trace, dl, il, misp = random_ooo_inputs(seed, n)
+        ref = [ooo_cycles_scalar(trace, dl, il, misp, c) for c in configs]
+        got = ooo_cycles_many_vector(trace, dl, il, misp, configs)
+        assert got == ref, (n, seed, chunk)
+
+
+def test_ooo_kernel_bit_identical():
+    """Compiled kernel path == scalar loop (single and batched)."""
+    if not _ooo_kernel.kernel_available():
+        pytest.skip("no C compiler available")
+    configs = _ooo_sweep_configs()
+    for seed, n in ((0, 2500), (1, 5000)):
+        trace, dl, il, misp = random_ooo_inputs(seed, n)
+        ref = [ooo_cycles_scalar(trace, dl, il, misp, c) for c in configs]
+        got = ooo_cycles_many_vector(trace, dl, il, misp, configs)
+        assert got == ref
+        one = [_ooo_kernel.run_kernel(trace, dl, il, misp, c)
+               for c in configs]
+        assert one == ref
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector", "auto"])
+def test_ooo_backend_arg_dispatch(backend):
+    trace, dl, il, misp = random_ooo_inputs(3, 4000)
+    config = skylake_config()
+    ref = ooo_cycles_scalar(trace, dl, il, misp, config)
+    assert ooo_cycles(trace, dl, il, misp, config, backend=backend) == ref
+
+
+def test_ooo_many_configs_matches_per_config_runs():
+    """Batched walk == per-config walks, in input order, shared or
+    distinct states, mixed ROB sizes included."""
+
+    @dataclasses.dataclass
+    class _State:
+        dlevel: np.ndarray
+        ilevel: np.ndarray
+        mispredicted: np.ndarray
+
+    trace, dl, il, misp = random_ooo_inputs(4, 6000)
+    shared = _State(dl, il, misp)
+    dl2, il2, misp2 = dl.copy(), il.copy(), misp.copy()
+    dl2[::7] = 3
+    other = _State(dl2, il2, misp2)
+    configs = _ooo_sweep_configs()
+    states = [shared, shared, shared, other, shared, other]
+    for backend in ("scalar", "vector", "auto"):
+        ref = [ooo_cycles(trace, s.dlevel, s.ilevel, s.mispredicted, c,
+                          backend="scalar")
+               for s, c in zip(states, configs)]
+        got = ooo_cycles_many(trace, states, configs, backend=backend)
+        assert got == ref, backend
+
+
+def test_ooo_long_dependence_and_large_rob_regression():
+    """Dep distances and ROBs beyond the old 4096-slot ring stay exact.
+
+    The seed engine's fixed ring silently dropped dependences >= 4096
+    instructions back and corrupted the ROB constraint for
+    rob_entries >= 4096; the ring now grows to cover both.
+    """
+    n = 10_000
+    trace, dl, il, misp = random_ooo_inputs(5, n)
+    # A slow producer feeding a consumer 6000 instructions later.
+    trace["dep"] = trace["dep"].copy()
+    trace["kind"][2000] = _LOAD
+    dl[2000] = 3
+    trace["dep"][8000] = 6000
+    assert ring_size(224, trace["dep"]) > 4096
+    base = skylake_config()
+    huge_rob = dataclasses.replace(
+        base, core=dataclasses.replace(base.core, rob_entries=8192))
+    assert ring_size(8192, trace["dep"]) > 8192
+    for config in (base, huge_rob):
+        ref = ooo_cycles_scalar(trace, dl, il, misp, config)
+        for backend in ("vector", "auto"):
+            assert ooo_cycles(trace, dl, il, misp, config,
+                              backend=backend) == ref
+
+
+def test_kind_latency_table_derived_from_isa():
+    """Every InstrKind indexes the tick table at its ISA latency."""
+    assert len(KIND_LATENCY_TICKS) == max(int(k) for k in InstrKind) + 1
+    for kind in InstrKind:
+        assert KIND_LATENCY_TICKS[int(kind)] == KIND_LATENCY[kind] * TICKS
+
+
+def test_ooo_empty_and_tiny_traces():
+    config = skylake_config()
+    empty = {"pc": np.zeros(0, dtype=np.int64),
+             "kind": np.zeros(0, dtype=np.int64),
+             "dep": np.zeros(0, dtype=np.int64)}
+    zeros = np.zeros(0, dtype=np.int64)
+    assert ooo_cycles_many_vector(empty, zeros, zeros,
+                                  zeros.astype(bool), [config]) == [0.0]
+    assert ooo_cycles_many_vector(empty, zeros, zeros,
+                                  zeros.astype(bool), []) == []
+    trace, dl, il, misp = random_ooo_inputs(6, 1)
+    ref = ooo_cycles_scalar(trace, dl, il, misp, config)
+    assert ooo_cycles_many_vector(trace, dl, il, misp, [config]) == [ref]
 
 
 def test_real_guest_trace_bit_identical(pypy_run):
