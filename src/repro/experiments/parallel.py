@@ -10,14 +10,18 @@ rely on:
   construction parameters, so figure aggregation code sees exactly the
   sequence a serial loop would produce — whatever faults were survived
   along the way.
-* **Telemetry** — each worker resets the metrics registry it inherited
-  over ``fork`` (otherwise the parent's pre-fork counts would be merged
-  back in again, double-counting), runs its cell, then ships a
-  :meth:`~repro.telemetry.metrics.MetricsRegistry.dump` back with the
-  result. The parent merges the final successful dump of every cell,
-  in submission order, so the run manifest covers the whole fan-out.
-  (Work lost to a crashed worker is not counted: its registry died
-  with it.)
+* **Telemetry** — each worker resets the sinks it inherited over
+  ``fork`` (otherwise the parent's pre-fork counts would be merged back
+  in again, double-counting, and the parent's open spans would be
+  re-shipped under every cell), runs its cell inside a ``cell`` span,
+  then ships a :data:`WIRE_SCHEMA` payload back with the result: the
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.dump`, the span
+  forest (:meth:`~repro.telemetry.tracing.Tracer.export_state`), and
+  the worker's pid. The parent merges the final successful payload of
+  every cell, in submission order — metrics into its registry, span
+  trees into ``TELEMETRY.workers`` — so the run manifest and the
+  unified Chrome trace cover the whole fan-out. (Work lost to a
+  crashed worker is not counted: its sinks died with it.)
 * **Cache sharing** — workers build their own
   :class:`~repro.experiments.runner.ExperimentRunner` from
   :meth:`~repro.experiments.runner.ExperimentRunner.spawn_params`, so
@@ -74,6 +78,11 @@ MIN_JOBS_CAP = 16
 #: Exit status an injected ``worker_crash`` fault dies with.
 CRASH_EXIT = 11
 
+#: Version of the worker → parent telemetry payload. Bumped when the
+#: shape of :func:`_run_cell`'s return value changes; the parent only
+#: merges payloads whose schema it understands.
+WIRE_SCHEMA = 2
+
 #: Worker-global runner, built once per process by :func:`_init_worker`.
 _WORKER_RUNNER = None
 #: Worker-global fault plan (None in the parent: injected worker faults
@@ -116,9 +125,12 @@ def _init_worker(runner_params: dict, telemetry_on: bool,
     from .. import telemetry as telemetry_mod
     if telemetry_on:
         telemetry_mod.enable()
-    # Forked workers inherit the parent's registry contents; reset so the
-    # dump shipped back contains only this worker's own increments.
+    # Forked workers inherit the parent's registry contents and the
+    # parent's open span stack; reset so the payload shipped back
+    # contains only this worker's own increments and spans.
     TELEMETRY.metrics.reset()
+    TELEMETRY.tracer.reset()
+    TELEMETRY.events.reset()
     from .runner import ExperimentRunner
     _WORKER_RUNNER = ExperimentRunner(**runner_params)
     _WORKER_FAULTS = fault_plan
@@ -134,10 +146,20 @@ def _run_cell(payload):
         if spec is not None and plan.should_fire("cell_timeout", site,
                                                  attempt):
             time.sleep(spec.sleep_seconds)
-    result = fn(_WORKER_RUNNER, *args)
-    dump = TELEMETRY.metrics.dump()
+    with TELEMETRY.tracer.span("cell", site=site, attempt=attempt):
+        result = fn(_WORKER_RUNNER, *args)
+    payload = {
+        "schema": WIRE_SCHEMA,
+        "result": result,
+        "pid": os.getpid(),
+        "site": site,
+        "attempt": attempt,
+        "metrics": TELEMETRY.metrics.dump(),
+        "trace": TELEMETRY.tracer.export_state(),
+    }
     TELEMETRY.metrics.reset()
-    return result, dump
+    TELEMETRY.tracer.reset()
+    return payload
 
 
 def fan_out(runner, fn, items, jobs: int | None = None,
@@ -203,14 +225,25 @@ class _Supervisor:
                     continue
         except KeyboardInterrupt:
             metrics.counter("resilience.interrupted").inc()
+            TELEMETRY.events.emit("resilience.interrupted")
             raise
         finally:
             self._shutdown(kill=not all(self.done))
         # Merge telemetry in submission order so gauge last-writer-wins
-        # matches what a serial run would have produced.
-        for dump in self.dumps:
-            if dump:
-                metrics.merge(dump)
+        # matches what a serial run would have produced. Span forests go
+        # to the worker-trace store for the unified Chrome trace; cells
+        # finished by the serial fallback ran in-process on the parent's
+        # own sinks and have no payload to merge.
+        for payload in self.dumps:
+            if not payload or payload.get("schema") != WIRE_SCHEMA:
+                continue
+            metrics.merge(payload["metrics"])
+            TELEMETRY.workers.add({
+                "pid": payload["pid"],
+                "site": payload["site"],
+                "attempt": payload["attempt"],
+                "trace": payload["trace"],
+            })
         return self.results
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -269,7 +302,7 @@ class _Supervisor:
         for i in pending:
             while not self.done[i]:
                 try:
-                    result, dump = futures[i].result(
+                    payload = futures[i].result(
                         timeout=self.policy.timeout)
                 except FuturesTimeout:
                     self._on_timeout(i)  # raises _PoolLost
@@ -282,15 +315,20 @@ class _Supervisor:
                     self._on_error(i, exc)  # raises when out of budget
                     futures[i] = self._submit(pool, i)
                 else:
-                    self.results[i] = result
-                    self.dumps[i] = dump
+                    self.results[i] = payload["result"]
+                    self.dumps[i] = payload
                     self.done[i] = True
+                    TELEMETRY.events.emit("cell.done", index=i,
+                                          site=payload["site"],
+                                          pid=payload["pid"],
+                                          attempt=payload["attempt"])
 
     # -- failure handling ----------------------------------------------
 
     def _on_timeout(self, index: int) -> None:
         metrics = TELEMETRY.metrics
         metrics.counter("resilience.timeouts").inc()
+        TELEMETRY.events.emit("resilience.timeout", site=self._site(index))
         self.timeout_counts[index] += 1
         self.attempts[index] += 1
         if self.timeout_counts[index] > self.policy.max_retries:
@@ -299,6 +337,8 @@ class _Supervisor:
                 f"{self.policy.timeout}s timeout "
                 f"{self.timeout_counts[index]} times; giving up")
         metrics.counter("resilience.retries", reason="timeout").inc()
+        TELEMETRY.events.emit("resilience.retry", reason="timeout",
+                              site=self._site(index))
         # The hung worker cannot be cancelled in place: kill the pool
         # and re-run every lost cell on a fresh one.
         self._pool_lost(reason="cell timeout", bump_attempts=False)
@@ -315,12 +355,15 @@ class _Supervisor:
                 f"{self.error_counts[index]} times "
                 f"(last error: {exc!r}); giving up") from exc
         metrics.counter("resilience.retries", reason="error").inc()
+        TELEMETRY.events.emit("resilience.retry", reason="error",
+                              site=self._site(index), error=repr(exc))
         time.sleep(self.policy.backoff(self.error_counts[index]))
 
     def _pool_lost(self, reason: str, bump_attempts: bool = True) -> None:
         """Kill the (possibly broken) pool; schedule lost cells."""
         metrics = TELEMETRY.metrics
         metrics.counter("resilience.pool_rebuilds").inc()
+        TELEMETRY.events.emit("resilience.pool_rebuild", reason=reason)
         self.rebuilds += 1
         if bump_attempts:
             for i, finished in enumerate(self.done):
@@ -328,6 +371,9 @@ class _Supervisor:
                     self.attempts[i] += 1
                     metrics.counter("resilience.retries",
                                     reason="crash").inc()
+                    TELEMETRY.events.emit("resilience.retry",
+                                          reason="crash",
+                                          site=self._site(i))
         self._shutdown(kill=True)
         time.sleep(self.policy.backoff(self.rebuilds))
 
@@ -341,6 +387,8 @@ class _Supervisor:
         """
         metrics = TELEMETRY.metrics
         metrics.counter("resilience.serial_fallbacks").inc()
+        TELEMETRY.events.emit("resilience.serial_fallback",
+                              remaining=self.done.count(False))
         for i, finished in enumerate(self.done):
             if finished:
                 continue

@@ -5,6 +5,8 @@ One process-wide :data:`TELEMETRY` state object holds the three sinks:
 * ``TELEMETRY.metrics`` — :class:`~repro.telemetry.metrics.MetricsRegistry`
 * ``TELEMETRY.tracer`` — :class:`~repro.telemetry.tracing.Tracer`
 * ``TELEMETRY.events`` — :class:`~repro.telemetry.events.EventLog`
+* ``TELEMETRY.workers`` — :class:`~repro.telemetry.tracing.WorkerTraceStore`
+  (span-tree dumps shipped back by fan-out worker processes)
 
 The default (library use) is **disabled**: every sink is a null object
 and instrumentation costs a no-op call at most; simulation hot loops
@@ -32,26 +34,36 @@ from .metrics import (
     NullRegistry,
     NULL_REGISTRY,
 )
-from .tracing import NullTracer, NULL_TRACER, Span, Tracer
+from .tracing import (
+    NullTracer,
+    NULL_TRACER,
+    NullWorkerTraceStore,
+    NULL_WORKER_TRACES,
+    Span,
+    Tracer,
+    WorkerTraceStore,
+)
 
 __all__ = [
     "TELEMETRY", "TelemetryState", "enable", "disable", "reset",
     "session", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "MetricError", "NullRegistry", "Tracer", "NullTracer", "Span",
     "EventLog", "NullEventLog", "DEFAULT_CAPACITY",
+    "WorkerTraceStore", "NullWorkerTraceStore",
 ]
 
 
 class TelemetryState:
     """Holder whose attributes are swapped by enable()/disable()."""
 
-    __slots__ = ("enabled", "metrics", "tracer", "events")
+    __slots__ = ("enabled", "metrics", "tracer", "events", "workers")
 
     def __init__(self) -> None:
         self.enabled = False
         self.metrics = NULL_REGISTRY
         self.tracer = NULL_TRACER
         self.events = NULL_EVENTS
+        self.workers = NULL_WORKER_TRACES
 
 
 #: The process-wide telemetry state. Disabled (null sinks) by default.
@@ -64,6 +76,7 @@ def enable(event_capacity: int = DEFAULT_CAPACITY) -> TelemetryState:
         TELEMETRY.metrics = MetricsRegistry()
         TELEMETRY.tracer = Tracer()
         TELEMETRY.events = EventLog(capacity=event_capacity)
+        TELEMETRY.workers = WorkerTraceStore()
         TELEMETRY.enabled = True
     return TELEMETRY
 
@@ -74,6 +87,7 @@ def disable() -> None:
     TELEMETRY.metrics = NULL_REGISTRY
     TELEMETRY.tracer = NULL_TRACER
     TELEMETRY.events = NULL_EVENTS
+    TELEMETRY.workers = NULL_WORKER_TRACES
 
 
 def reset() -> None:
@@ -81,6 +95,7 @@ def reset() -> None:
     TELEMETRY.metrics.reset()
     TELEMETRY.tracer.reset()
     TELEMETRY.events.reset()
+    TELEMETRY.workers.reset()
 
 
 @contextmanager

@@ -26,6 +26,10 @@ class EventLog:
         self.capacity = capacity
         self._clock = clock
         self._epoch = clock()
+        #: Wall-clock instant of the epoch, so event timestamps can be
+        #: rebased onto a merged multi-process timeline (instant events
+        #: in the unified Chrome trace).
+        self.epoch_unix = time.time()
         self._events: deque = deque(maxlen=capacity)
         #: Cumulative emissions per kind (not affected by eviction).
         self.counts: dict[str, int] = {}
@@ -57,6 +61,7 @@ class EventLog:
         self.counts.clear()
         self.emitted = 0
         self._epoch = self._clock()
+        self.epoch_unix = time.time()
 
     def snapshot(self) -> dict:
         """Manifest block: retained rows plus cumulative accounting."""
@@ -76,6 +81,7 @@ class NullEventLog:
     capacity = 0
     emitted = 0
     dropped = 0
+    epoch_unix = 0.0
     counts: dict = {}
 
     def emit(self, kind: str, /, **fields) -> None:

@@ -17,6 +17,14 @@ The recorded forest exports two ways:
 
 Timestamps are microseconds relative to the tracer's creation so
 manifests diff cleanly across runs. The clock is injectable for tests.
+
+Cross-process unification: every tracer also remembers the wall-clock
+instant of its epoch (``epoch_unix``), so span forests recorded in
+*worker processes* — shipped back as :meth:`Tracer.export_state` dumps
+and collected in a :class:`WorkerTraceStore` — can be rebased onto the
+parent's timeline and rendered as per-worker pid lanes in one merged
+Chrome trace (:func:`spans_to_chrome`,
+:func:`repro.telemetry.export.build_chrome_trace`).
 """
 
 from __future__ import annotations
@@ -79,6 +87,9 @@ class Tracer:
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
         self._epoch = clock()
+        #: Wall-clock instant of the epoch — the anchor that lets span
+        #: forests from different processes share one merged timeline.
+        self.epoch_unix = time.time()
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
@@ -107,6 +118,7 @@ class Tracer:
         self.roots = []
         self._stack = []
         self._epoch = self._clock()
+        self.epoch_unix = time.time()
 
     # ------------------------------------------------------------------
     # Export
@@ -115,6 +127,15 @@ class Tracer:
     def tree(self) -> list[dict]:
         """The whole forest as nested plain dicts (manifest `spans`)."""
         return [root.to_dict() for root in self.roots]
+
+    def export_state(self) -> dict:
+        """The forest plus its wall-clock anchor, JSON/pickle-ready.
+
+        This is the cross-process wire format: a worker exports its
+        state after each cell, the parent rebases the spans onto its
+        own timeline via ``epoch_unix`` (see :func:`spans_to_chrome`).
+        """
+        return {"epoch_unix": self.epoch_unix, "spans": self.tree()}
 
     def to_chrome_trace(self) -> list[dict]:
         """Trace Event Format complete events (``chrome://tracing``)."""
@@ -139,6 +160,92 @@ class Tracer:
         return events
 
 
+def spans_to_chrome(spans: list[dict], pid: int, tid: int = 1,
+                    offset_us: float = 0.0) -> list[dict]:
+    """Span dicts (:meth:`Span.to_dict` shape) as Chrome complete events.
+
+    ``offset_us`` shifts every timestamp — the merged-trace builder
+    passes ``(epoch_unix - base_unix) * 1e6`` so spans recorded against
+    another process's epoch land at the right wall-clock position.
+    """
+    events: list[dict] = []
+
+    def visit(span: dict) -> None:
+        events.append({
+            "name": span["name"],
+            "ph": "X",
+            "ts": round(span["start_us"] + offset_us, 3),
+            "dur": round(span["duration_us"], 3),
+            "pid": pid,
+            "tid": tid,
+            "cat": "repro",
+            "args": dict(span.get("attrs", {})),
+        })
+        for child in span.get("children", ()):
+            visit(child)
+
+    for root in spans:
+        visit(root)
+    return events
+
+
+class WorkerTraceStore:
+    """Parent-side collection of worker span-tree dumps.
+
+    The supervised fan-out appends one entry per completed cell, in
+    submission order: ``{"pid": ..., "site": ..., "attempt": ...,
+    "trace": Tracer.export_state()}``. Only the final successful dump
+    of each cell is kept — spans from a crashed worker died with it,
+    exactly like its metrics.
+    """
+
+    def __init__(self) -> None:
+        self.dumps: list[dict] = []
+
+    def add(self, dump: dict) -> None:
+        self.dumps.append(dump)
+
+    def pids(self) -> list[int]:
+        """Distinct worker pids, in first-appearance order."""
+        seen: dict[int, None] = {}
+        for dump in self.dumps:
+            seen.setdefault(dump.get("pid", 0), None)
+        return list(seen)
+
+    def reset(self) -> None:
+        self.dumps = []
+
+    def snapshot(self) -> dict:
+        """Manifest block: per-worker span forests with anchors."""
+        return {
+            "cells": len(self.dumps),
+            "pids": self.pids(),
+            "dumps": [dict(dump) for dump in self.dumps],
+        }
+
+
+class NullWorkerTraceStore:
+    """Default store when telemetry is disabled: records nothing."""
+
+    __slots__ = ()
+    dumps: list = []
+
+    def add(self, dump: dict) -> None:
+        pass
+
+    def pids(self) -> list:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"cells": 0, "pids": [], "dumps": []}
+
+
+NULL_WORKER_TRACES = NullWorkerTraceStore()
+
+
 class _NullSpanContext:
     """Shared no-op context manager returned by :class:`NullTracer`."""
 
@@ -160,6 +267,7 @@ class NullTracer:
 
     __slots__ = ()
     roots: list = []
+    epoch_unix = 0.0
 
     def span(self, name: str, **attrs) -> _NullSpanContext:
         return _NULL_SPAN
@@ -169,6 +277,9 @@ class NullTracer:
 
     def tree(self) -> list:
         return []
+
+    def export_state(self) -> dict:
+        return {"epoch_unix": 0.0, "spans": []}
 
     def to_chrome_trace(self) -> list:
         return []
