@@ -9,11 +9,16 @@ figure     regenerate one of the paper's tables/figures
 figures    regenerate many figures with checkpoint/resume (``--all``)
 cache      disk-cache maintenance (``gc``, ``stats``)
 telemetry  dump the last run's telemetry manifest
+status     one-shot (or ``--watch``) campaign progress view
+perf       perf-regression sentinel (``check``, ``diff``)
 
-``run``, ``breakdown``, ``figure``, and ``figures`` execute with
-telemetry enabled and write a per-run manifest (mirrored to
+``run``, ``breakdown``, ``figure``, ``figures``, and ``perf`` execute
+with telemetry enabled and write a per-run manifest (mirrored to
 ``.repro-telemetry/last_run.json``; ``--metrics-out PATH`` adds an
-explicit copy) that the ``telemetry`` command reads back.
+explicit copy, ``--trace-out PATH`` writes the unified Chrome trace
+with per-worker lanes) that the ``telemetry`` command reads back; each
+manifest is also summarized into the run registry under
+``<cache-root>/telemetry/``.
 
 ``figures --all`` journals each completed figure to a checkpoint file
 (default: ``<cache-root>/figures.journal``); an interrupted campaign —
@@ -25,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import telemetry
@@ -52,7 +58,8 @@ _MB = 1024 * 1024
 
 #: Subcommands that run guest code: telemetry is enabled around them
 #: and a manifest is written when they finish.
-_TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure", "figures"})
+_TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure", "figures",
+                                 "perf"})
 
 #: Conventional exit status for SIGINT (128 + 2).
 EXIT_INTERRUPTED = 130
@@ -200,12 +207,20 @@ def cmd_cache(args) -> int:
               f"{stats['kept_entries']} entries "
               f"({stats['kept_bytes'] / 1e6:.1f} MB) remain "
               f"under {cache.root}")
+        # The registry is never size-evicted with the artifacts; its
+        # retention is an explicit record-count prune here.
+        from .telemetry.registry import RunRegistry
+        registry = RunRegistry(cache.root / "telemetry")
+        pruned = registry.prune(max_records=args.max_registry_records)
+        if pruned:
+            print(f"pruned {pruned} registry records "
+                  f"(keeping newest {args.max_registry_records})")
         return 0
     usage = cache.usage()
     rows = [[kind,
              str(usage.get(kind, {}).get("entries", 0)),
              f"{usage.get(kind, {}).get('bytes', 0) / 1e6:.1f} MB"]
-            for kind in ("traces", "states")]
+            for kind in ("traces", "states", "telemetry")]
     rows.append(["quarantined files", str(usage["quarantined_files"]),
                  ""])
     print(render_table(["kind", "entries", "size"], rows,
@@ -213,7 +228,35 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_status(args) -> int:
+    from .experiments.status import render_status, watch_status
+    if args.watch:
+        watch_status(interval=args.interval,
+                     checkpoint=args.checkpoint)
+        return 0
+    print(render_status(args.checkpoint))
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from .experiments.perf import check, diff
+    if args.action == "diff":
+        return diff()
+    return check(baseline_path=args.baseline,
+                 threshold=args.threshold, update=args.update,
+                 probe=not args.no_probe)
+
+
 def cmd_telemetry(args) -> int:
+    if args.registry:
+        from .telemetry.registry import RunRegistry
+        records = RunRegistry().tail(args.tail)
+        if not records:
+            print("run registry is empty", file=sys.stderr)
+            return 1
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
     manifest = load_last_manifest()
     if manifest is None:
         print("no telemetry manifest found; run a command first "
@@ -252,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="nursery size in MB (pypy/v8)")
         p.add_argument("--metrics-out", metavar="PATH",
                        help="write the telemetry manifest (JSON) here")
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write the unified Chrome trace-event "
+                            "JSON here")
         p.set_defaults(func=func)
 
     p = sub.add_parser("workloads")
@@ -266,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: $REPRO_JOBS or 1; 0 = all cores)")
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the telemetry manifest (JSON) here")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the unified Chrome trace-event JSON "
+                        "here (per-worker lanes, resilience markers)")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser(
@@ -290,6 +339,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "flagged, not fatal")
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the telemetry manifest (JSON) here")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the unified Chrome trace-event JSON "
+                        "here (per-worker lanes, resilience markers)")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser(
@@ -302,7 +354,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", metavar="PATH", default=None,
                    help="cache root (default: $REPRO_CACHE_DIR or "
                         ".repro-cache)")
+    p.add_argument("--max-registry-records", type=int, default=4096,
+                   help="gc: keep at most this many run-registry "
+                        "records (default: 4096)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "status",
+        help="campaign progress: journal + cache + registry, joined")
+    p.add_argument("--watch", action="store_true",
+                   help="redraw until interrupted")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between --watch redraws (default: 2)")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="journal file (default: "
+                        "<cache-root>/figures.journal)")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "perf",
+        help="perf-regression sentinel against checked-in baselines")
+    p.add_argument("action", choices=("check", "diff"))
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline JSON (default: "
+                        "benchmarks/baselines/perf.json)")
+    p.add_argument("--threshold", type=float, default=2.0,
+                   help="check: fail when a gauge drops below "
+                        "baseline/threshold (default: 2.0)")
+    p.add_argument("--update", action="store_true",
+                   help="check: rewrite the baseline from this "
+                        "machine's measurement")
+    p.add_argument("--no-probe", action="store_true",
+                   help="check: reuse the registry's last probe "
+                        "instead of measuring")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(
         "telemetry",
@@ -311,6 +396,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the ASCII span self-time tree instead")
     p.add_argument("--chrome-out", metavar="PATH",
                    help="write the Chrome trace-event JSON here")
+    p.add_argument("--registry", action="store_true",
+                   help="print run-registry records (JSONL) instead")
+    p.add_argument("--tail", type=int, default=10,
+                   help="--registry: newest N records (default: 10)")
     p.set_defaults(func=cmd_telemetry)
     return parser
 
@@ -332,6 +421,12 @@ def main(argv=None) -> int:
         # cleanly after Ctrl-C.
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # `repro status | head` and friends: the reader went away.
+        # Point stdout at devnull so the interpreter's exit flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     finally:
         if with_telemetry:
             config = {k: v for k, v in vars(args).items()
@@ -339,6 +434,11 @@ def main(argv=None) -> int:
             write_manifest(getattr(args, "metrics_out", None) or None,
                            command=args.command, config=config,
                            stats=getattr(args, "_manifest_stats", None))
+            trace_out = getattr(args, "trace_out", None)
+            if trace_out:
+                # Written in the finally block so even an interrupted
+                # campaign leaves its unified trace behind.
+                write_chrome_trace(trace_out)
             telemetry.disable()
 
 

@@ -468,6 +468,12 @@ class DiskCache:
         Also sweeps all ``.tmp*`` litter and deletes orphans. Returns a
         stats dict (``evicted``, ``bytes_freed``, ``kept_entries``,
         ``kept_bytes``, ``tmp_removed``).
+
+        Only the artifact kinds (``traces/``, ``states/``) are swept:
+        the run registry under ``telemetry/`` is never evicted by size
+        — its retention is record-count based and explicit
+        (:meth:`repro.telemetry.registry.RunRegistry.prune`, invoked by
+        ``repro cache gc``).
         """
         stats = {"evicted": 0, "bytes_freed": 0, "kept_entries": 0,
                  "kept_bytes": 0, "tmp_removed": 0}
@@ -527,4 +533,15 @@ class DiskCache:
         if quarantine.is_dir():
             usage["quarantined_files"] = sum(
                 1 for _ in quarantine.iterdir())
+        telemetry_dir = self.root / "telemetry"
+        if telemetry_dir.is_dir():
+            entries = bytes_total = 0
+            for path in telemetry_dir.iterdir():
+                try:
+                    bytes_total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+            usage["telemetry"] = {"entries": entries,
+                                  "bytes": bytes_total}
         return usage

@@ -37,14 +37,21 @@ RetryPolicy`): each one is an individual future with an optional
 wall-clock timeout; cell exceptions and timeouts are retried with
 exponential backoff up to a bounded budget; a broken pool
 (``BrokenProcessPool`` — a worker was OOM-killed, segfaulted, or had a
-fault injected) is rebuilt and only the *lost* cells re-run; after
-``max_pool_rebuilds`` rebuilds the remaining cells degrade to
-in-process serial execution rather than aborting the campaign.
-``KeyboardInterrupt`` cancels all pending futures, terminates the
-workers, and propagates (the CLI turns it into exit status 130).
-Every recovery is counted: ``resilience.retries{reason=...}``,
-``resilience.timeouts``, ``resilience.pool_rebuilds``,
-``resilience.serial_fallbacks``, ``resilience.interrupted``.
+fault injected) is rebuilt after *harvesting* whichever futures already
+completed, and only the lost cells re-run. After ``max_pool_rebuilds``
+rebuilds the remaining cells run **isolated** — one at a time, each in
+a fresh single-worker pool, so a crash costs one cell-attempt instead
+of the whole wave and the worker-side telemetry of every completed
+cell still ships back. Cells whose isolated attempts also exhaust the
+crash budget degrade to in-process serial execution rather than
+aborting the campaign. ``KeyboardInterrupt`` cancels all pending
+futures, terminates the workers, and propagates (the CLI turns it into
+exit status 130). Every recovery is counted:
+``resilience.retries{reason=...}``, ``resilience.timeouts``,
+``resilience.pool_rebuilds``, ``resilience.isolation_fallbacks``,
+``resilience.isolated_cells``, ``resilience.serial_fallbacks``,
+``resilience.interrupted`` — and mirrored as events, which the unified
+Chrome trace renders as instant markers.
 
 Cell functions must be module-level (picklable) and take the worker's
 runner as their first argument: ``fn(runner, *args)``.
@@ -186,6 +193,27 @@ class _PoolLost(Exception):
     """Internal: the pool died or was killed; rebuild and continue."""
 
 
+def _terminate_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+    """Shut a pool down; ``kill`` terminates possibly-hung workers."""
+    if not kill:
+        pool.shutdown(wait=True)
+        return
+    # A worker may be hung (or mid-cell): cancel whatever has not
+    # started and terminate the processes rather than joining them.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5)
+        except (OSError, ValueError, AssertionError):
+            pass
+
+
 class _Supervisor:
     """Drives one fan-out to completion through crashes and timeouts."""
 
@@ -217,7 +245,7 @@ class _Supervisor:
         try:
             while not all(self.done):
                 if self.rebuilds > self.policy.max_pool_rebuilds:
-                    self._finish_serial()
+                    self._finish_isolated()
                     break
                 try:
                     self._round()
@@ -257,25 +285,8 @@ class _Supervisor:
 
     def _shutdown(self, kill: bool) -> None:
         pool, self.pool = self.pool, None
-        if pool is None:
-            return
-        if not kill:
-            pool.shutdown(wait=True)
-            return
-        # A worker may be hung (or mid-cell): cancel whatever has not
-        # started and terminate the processes rather than joining them.
-        processes = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            try:
-                process.terminate()
-            except (OSError, ValueError):
-                pass
-        for process in processes:
-            try:
-                process.join(timeout=5)
-            except (OSError, ValueError, AssertionError):
-                pass
+        if pool is not None:
+            _terminate_pool(pool, kill)
 
     # -- one submission round ------------------------------------------
 
@@ -294,6 +305,30 @@ class _Supervisor:
             self._pool_lost(reason=repr(exc))
             raise _PoolLost from exc
 
+    def _record(self, index: int, payload: dict) -> None:
+        """Accept one cell's payload (result + worker telemetry)."""
+        self.results[index] = payload["result"]
+        self.dumps[index] = payload
+        self.done[index] = True
+        TELEMETRY.events.emit("cell.done", index=index,
+                              site=payload["site"],
+                              pid=payload["pid"],
+                              attempt=payload["attempt"])
+
+    def _harvest(self, futures: dict) -> None:
+        """Record every future that finished before the pool died.
+
+        A single crashed worker breaks the whole pool, but results that
+        already crossed the pipe are intact — collecting them means a
+        rebuild re-runs only the genuinely lost cells.
+        """
+        for index, future in futures.items():
+            if self.done[index] or not future.done():
+                continue
+            if future.cancelled() or future.exception() is not None:
+                continue
+            self._record(index, future.result())
+
     def _round(self) -> None:
         pool = self._ensure_pool()
         pending = [i for i, finished in enumerate(self.done)
@@ -305,8 +340,10 @@ class _Supervisor:
                     payload = futures[i].result(
                         timeout=self.policy.timeout)
                 except FuturesTimeout:
+                    self._harvest(futures)
                     self._on_timeout(i)  # raises _PoolLost
                 except BrokenProcessPool as exc:
+                    self._harvest(futures)
                     self._pool_lost(reason=repr(exc))
                     raise _PoolLost from exc
                 except KeyboardInterrupt:
@@ -315,13 +352,7 @@ class _Supervisor:
                     self._on_error(i, exc)  # raises when out of budget
                     futures[i] = self._submit(pool, i)
                 else:
-                    self.results[i] = payload["result"]
-                    self.dumps[i] = payload
-                    self.done[i] = True
-                    TELEMETRY.events.emit("cell.done", index=i,
-                                          site=payload["site"],
-                                          pid=payload["pid"],
-                                          attempt=payload["attempt"])
+                    self._record(i, payload)
 
     # -- failure handling ----------------------------------------------
 
@@ -379,19 +410,76 @@ class _Supervisor:
 
     # -- graceful degradation ------------------------------------------
 
-    def _finish_serial(self) -> None:
-        """The pool keeps dying: finish in-process, serially.
+    def _isolated_attempt(self, index: int) -> dict | None:
+        """Run one cell alone in a fresh single-worker pool.
 
-        Worker-side fault injection never fires here (``_WORKER_FAULTS``
-        stays None in the parent), so even a 100%-crash plan completes.
+        Returns the payload, or None when the worker crashed or hung
+        (the pool is torn down either way). Cell exceptions propagate:
+        isolation is a crash-containment rung, not extra error budget.
+        """
+        context = multiprocessing.get_context("fork")
+        pool = ProcessPoolExecutor(
+            max_workers=1, mp_context=context, initializer=_init_worker,
+            initargs=(self.params, TELEMETRY.enabled, self.faults))
+        lost = True
+        try:
+            payload = pool.submit(
+                _run_cell,
+                self._payload(index)).result(timeout=self.policy.timeout)
+            lost = False
+            return payload
+        except FuturesTimeout:
+            TELEMETRY.metrics.counter("resilience.timeouts").inc()
+            TELEMETRY.events.emit("resilience.timeout",
+                                  site=self._site(index), isolated=True)
+            return None
+        except (BrokenProcessPool, RuntimeError):
+            return None
+        finally:
+            _terminate_pool(pool, kill=lost)
+
+    def _finish_isolated(self) -> None:
+        """Full-width pools keep dying: isolate the remaining cells.
+
+        One cell per fresh single-worker pool, so an injected crash
+        costs one cell-attempt instead of the whole wave — and the
+        worker telemetry of every cell that does complete still ships
+        back. A cell whose isolated attempts exhaust the crash budget
+        degrades to in-process serial execution (worker-side fault
+        injection never fires in the parent: ``_WORKER_FAULTS`` stays
+        None there), so even a 100%-crash plan completes.
         """
         metrics = TELEMETRY.metrics
-        metrics.counter("resilience.serial_fallbacks").inc()
-        TELEMETRY.events.emit("resilience.serial_fallback",
+        metrics.counter("resilience.isolation_fallbacks").inc()
+        TELEMETRY.events.emit("resilience.isolation_fallback",
                               remaining=self.done.count(False))
+        serial_started = False
         for i, finished in enumerate(self.done):
             if finished:
                 continue
+            crashes = 0
+            while not self.done[i] and crashes <= self.policy.max_retries:
+                payload = self._isolated_attempt(i)
+                if payload is None:
+                    crashes += 1
+                    self.attempts[i] += 1
+                    metrics.counter("resilience.retries",
+                                    reason="crash").inc()
+                    TELEMETRY.events.emit("resilience.retry",
+                                          reason="crash",
+                                          site=self._site(i),
+                                          isolated=True)
+                    time.sleep(self.policy.backoff(crashes))
+                else:
+                    metrics.counter("resilience.isolated_cells").inc()
+                    self._record(i, payload)
+            if self.done[i]:
+                continue
+            if not serial_started:
+                serial_started = True
+                metrics.counter("resilience.serial_fallbacks").inc()
+                TELEMETRY.events.emit("resilience.serial_fallback",
+                                      remaining=self.done.count(False))
             metrics.counter("resilience.serial_cells").inc()
             self.results[i] = self.fn(self.runner, *self.items[i])
             self.done[i] = True

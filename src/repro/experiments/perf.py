@@ -1,0 +1,224 @@
+"""Perf-regression sentinel: ``python -m repro perf check|diff``.
+
+``check`` runs a small fixed probe — a fresh (cache-bypassing) guest
+run plus the two gated simulation stages on one reference workload —
+reads the throughput gauges the production pipeline updates, appends a
+``perf_probe`` record to the run registry, and compares the result
+against the checked-in baseline in ``benchmarks/baselines/perf.json``.
+A gauge below ``baseline / threshold`` (default threshold 2.0: a 2x
+degradation) or a category share drifting more than
+:data:`SHARE_TOLERANCE` fails the check with a nonzero exit — the
+CI-able guardrail.
+
+``diff`` compares the last two ``perf_probe`` records in the registry
+(no new measurement, exit 0 always): the trajectory view.
+
+Refresh the baseline on the target machine with ``repro perf check
+--update`` (or ``REPRO_REFRESH_BASELINES=1``, matching
+``benchmarks/test_throughput_gate.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ..telemetry import TELEMETRY
+
+#: Baseline file shared with the bench suite's conventions.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] \
+    / "benchmarks" / "baselines" / "perf.json"
+
+REFRESH_ENV = "REPRO_REFRESH_BASELINES"
+
+PROBE_SCHEMA = 1
+
+#: Reference cell: small enough for a CI smoke, big enough that the
+#: vectorized stages dominate interpreter noise.
+PROBE_WORKLOAD = "deltablue"
+PROBE_RUNTIME = "cpython"
+PROBE_SCALE = 2
+
+#: Fail when a gauge drops below ``baseline / threshold``.
+DEFAULT_THRESHOLD = 2.0
+
+#: Fail when a category's share of cycles drifts more than this
+#: (absolute) from the baseline breakdown.
+SHARE_TOLERANCE = 0.15
+
+
+def run_probe(repeats: int = 3) -> dict:
+    """Measure the gated gauges once; append a registry record.
+
+    Uses a cache-*disabled* runner so the guest run and both simulation
+    stages actually execute (a disk hit would leave the gauges unset).
+    Returns the probe record (also appended to the registry when
+    telemetry is enabled).
+    """
+    from ..config import skylake_config
+    from ..uarch.system import SimulatedSystem
+    from ..analysis.breakdown import breakdown_for_run
+    from .diskcache import DiskCache
+    from .runner import ExperimentRunner
+
+    runner = ExperimentRunner(scale=PROBE_SCALE,
+                              disk_cache=DiskCache(None))
+    with TELEMETRY.tracer.span("perf.probe", workload=PROBE_WORKLOAD):
+        handle = runner.run(PROBE_WORKLOAD, runtime=PROBE_RUNTIME)
+        config = skylake_config()
+        system = SimulatedSystem(config)
+        snapshot = TELEMETRY.metrics.snapshot
+        gauges = {
+            "guest": snapshot().get(
+                "guest.instructions_per_second"
+                f"{{runtime={PROBE_RUNTIME}}}", 0.0),
+            "sim.memory_side": 0.0,
+            "sim.core.ooo": 0.0,
+        }
+        state = None
+        for _ in range(repeats):
+            state = system.memory_side(handle.trace)
+            gauges["sim.memory_side"] = max(
+                gauges["sim.memory_side"],
+                snapshot().get(
+                    "sim.instructions_per_second{stage=memory_side}",
+                    0.0))
+        for _ in range(repeats):
+            SimulatedSystem.run_many_configs(
+                handle.trace, [config], [state])
+            gauges["sim.core.ooo"] = max(
+                gauges["sim.core.ooo"],
+                snapshot().get(
+                    "sim.instructions_per_second{stage=core.ooo}", 0.0))
+        breakdown = breakdown_for_run(handle, config)
+    categories = {str(category.name).lower(): breakdown.share(category)
+                  for category in breakdown.cycles}
+
+    record = {
+        "schema": PROBE_SCHEMA,
+        "kind": "perf_probe",
+        "created_unix": time.time(),
+        "command": "perf",
+        "config": {"workload": PROBE_WORKLOAD, "runtime": PROBE_RUNTIME,
+                   "scale": PROBE_SCALE, "repeats": repeats},
+        "stats": {"host_instructions": handle.host_instructions,
+                  "wall_seconds": handle.wall_seconds},
+        "gauges": gauges,
+        "categories": categories,
+    }
+    if TELEMETRY.enabled:
+        from ..telemetry.registry import RunRegistry
+        try:
+            RunRegistry().append(record)
+        except OSError:
+            TELEMETRY.metrics.counter("registry.write_errors").inc()
+    return record
+
+
+def _delta_rows(current: dict, reference: dict,
+                threshold: float) -> tuple[list[list[str]], list[str]]:
+    """Delta table rows plus failure messages vs. a reference record."""
+    rows: list[list[str]] = []
+    failures: list[str] = []
+    ref_gauges = reference.get("gauges", {}) or {}
+    cur_gauges = current.get("gauges", {}) or {}
+    for name in sorted(ref_gauges):
+        base = float(ref_gauges[name])
+        value = float(cur_gauges.get(name, 0.0))
+        ratio = value / base if base else float("inf")
+        status = "ok"
+        if base and value < base / threshold:
+            status = "FAIL"
+            failures.append(
+                f"gauge {name}: {value:,.0f} instr/s is below "
+                f"1/{threshold:g} of baseline {base:,.0f}")
+        rows.append([name, f"{base:,.0f}", f"{value:,.0f}",
+                     f"{ratio:.2f}x", status])
+    ref_shares = reference.get("categories", {}) or {}
+    cur_shares = current.get("categories", {}) or {}
+    for name in sorted(set(ref_shares) | set(cur_shares)):
+        base = float(ref_shares.get(name, 0.0))
+        value = float(cur_shares.get(name, 0.0))
+        drift = value - base
+        status = "ok"
+        if abs(drift) > SHARE_TOLERANCE:
+            status = "FAIL"
+            failures.append(
+                f"category {name}: share drifted {drift:+.1%} "
+                f"(tolerance ±{SHARE_TOLERANCE:.0%})")
+        rows.append([f"share:{name}", f"{base:.1%}", f"{value:.1%}",
+                     f"{drift:+.1%}", status])
+    return rows, failures
+
+
+def check(baseline_path: str | Path | None = None,
+          threshold: float = DEFAULT_THRESHOLD,
+          update: bool = False, probe: bool = True,
+          emit=print) -> int:
+    """Probe, compare against the checked-in baseline, exit-code style.
+
+    ``update=True`` (or ``REPRO_REFRESH_BASELINES=1``) rewrites the
+    baseline from the measurement instead of gating. ``probe=False``
+    reuses the registry's most recent ``perf_probe`` record.
+    """
+    from ..analysis.report import render_table
+    path = Path(baseline_path) if baseline_path is not None \
+        else DEFAULT_BASELINE
+    if probe:
+        record = run_probe()
+    else:
+        from ..telemetry.registry import RunRegistry
+        record = RunRegistry().last(kind="perf_probe")
+        if record is None:
+            emit("perf check: no perf_probe record in the registry; "
+             "run without --no-probe first")
+            return 1
+    refresh = os.environ.get(REFRESH_ENV, "").strip() not in ("", "0")
+    if update or refresh:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        baseline = {key: record[key] for key in
+                    ("schema", "config", "gauges", "categories")}
+        path.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        emit(f"perf check: baseline refreshed at {path}")
+        return 0
+    if not path.exists():
+        emit(f"perf check: no baseline at {path}; "
+             "create one with --update")
+        return 1
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    rows, failures = _delta_rows(record, baseline, threshold)
+    emit(render_table(
+        ["metric", "baseline", "measured", "ratio/drift", "status"],
+        rows, title=f"perf check vs {path.name} "
+                    f"(gate: 1/{threshold:g} of baseline)"))
+    if failures:
+        for failure in failures:
+            emit(f"FAIL: {failure}")
+        emit(f"refresh with `repro perf check --update` if this "
+             f"machine legitimately changed")
+        return 1
+    emit("perf check: all gauges within threshold")
+    return 0
+
+
+def diff(emit=print) -> int:
+    """Compare the two most recent probes in the registry (exit 0)."""
+    from ..analysis.report import render_table
+    from ..telemetry.registry import RunRegistry
+    records = [record for record in RunRegistry().records()
+               if record.get("kind") == "perf_probe"]
+    if len(records) < 2:
+        emit(f"perf diff: need two perf_probe records, have "
+             f"{len(records)}; run `repro perf check` to add one")
+        return 0
+    previous, current = records[-2], records[-1]
+    rows, _ = _delta_rows(current, previous,
+                          threshold=float("inf"))
+    emit(render_table(
+        ["metric", f"seq {previous.get('seq')}",
+         f"seq {current.get('seq')}", "ratio/drift", "status"],
+        rows, title="perf diff: last two probes"))
+    return 0

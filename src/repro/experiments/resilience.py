@@ -352,6 +352,7 @@ def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
         if record is not None and record.get("quick") == quick:
             report.skipped.append(name)
             metrics.counter("campaign.figures_skipped").inc()
+            TELEMETRY.events.emit("campaign.figure.skipped", figure=name)
             emit(f"-- {name}: done at checkpoint "
                  f"({record.get('wall_seconds', 0.0):.1f}s last time), "
                  "skipping")
@@ -365,12 +366,15 @@ def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
                 runners[scale] = ExperimentRunner(scale=scale)
             runner = runners[scale]
         start = time.perf_counter()
+        TELEMETRY.events.emit("campaign.figure.begin", figure=name)
         with TELEMETRY.tracer.span("campaign.figure", figure=name):
             if runner is None:
                 result = func()
             else:
                 result = func(runner, quick=quick, jobs=jobs)
         wall = time.perf_counter() - start
+        TELEMETRY.events.emit("campaign.figure.end", figure=name,
+                              wall_seconds=round(wall, 3))
         emit(str(result))
         report.completed.append(name)
         report.wall_seconds[name] = wall
@@ -389,4 +393,30 @@ def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
             "over_budget": over,
             "completed_unix": time.time(),
         })
+        _register_figure(name, quick, wall)
     return report
+
+
+def _register_figure(name: str, quick: bool, wall: float) -> None:
+    """Append one per-figure record to the run registry.
+
+    Gated on telemetry: with null sinks nothing touches disk. Registry
+    errors never abort a campaign mid-flight.
+    """
+    if not TELEMETRY.enabled:
+        return
+    from ..telemetry.registry import RunRegistry, REGISTRY_SCHEMA
+    record = {
+        "schema": REGISTRY_SCHEMA,
+        "kind": "figure",
+        "created_unix": time.time(),
+        "command": "figures",
+        "config": {"figure": name, "quick": quick},
+        "stats": {"wall_seconds": round(wall, 3)},
+        "counters": TELEMETRY.metrics.filtered_snapshot(
+            ("resilience.", "cache.", "runner.", "campaign.")),
+    }
+    try:
+        RunRegistry().append(record)
+    except OSError:
+        TELEMETRY.metrics.counter("registry.write_errors").inc()

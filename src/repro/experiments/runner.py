@@ -157,6 +157,10 @@ class ExperimentRunner:
         #: When set, a manifest is written here after every fresh run.
         self.metrics_out = metrics_out
         self.last_handle: RunHandle | None = None
+        #: Content key of the most recent fresh run or disk hit; the
+        #: manifest records it so registry entries join against cache
+        #: entries.
+        self.last_cache_key: str | None = None
 
     # ------------------------------------------------------------------
     # Guest execution
@@ -201,6 +205,7 @@ class ExperimentRunner:
         if cached is not None:
             metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
             metrics.counter("runner.disk_cache.hit", kind="trace").inc()
+            self.last_cache_key = disk_key
             return self._adopt_handle(key, cached)
         metrics.counter("runner.trace_cache.miss", runtime=runtime).inc()
         if self.disk_cache.enabled:
@@ -245,6 +250,11 @@ class ExperimentRunner:
         self._next_token += 1
         metrics.counter("guest.instructions",
                         runtime=runtime).inc(len(machine.trace))
+        if wall_seconds > 0:
+            metrics.gauge("guest.instructions_per_second",
+                          runtime=runtime).set(
+                len(machine.trace) / wall_seconds)
+        self.last_cache_key = disk_key
         self._traces[key] = handle
         while len(self._traces) > self._trace_cache_size:
             _, evicted = self._traces.popitem(last=False)
@@ -481,6 +491,7 @@ class ExperimentRunner:
                 "host_instructions": handle.host_instructions,
             }
         config = {
+            "cache_key": self.last_cache_key,
             "scale": self.scale,
             "max_instructions": self.max_instructions,
             "trace_cache_size": self._trace_cache_size,

@@ -166,6 +166,26 @@ class MetricsRegistry:
             out[_render_name(name, label_key)] = metric.snapshot()
         return dict(sorted(out.items()))
 
+    def sum_matching(self, prefix: str) -> float:
+        """Total of counter/gauge values whose name starts with ``prefix``.
+
+        Sums across labeled children, so ``sum_matching(
+        "resilience.retries")`` covers every retry reason at once.
+        """
+        total = 0.0
+        for (name, _), metric in self._metrics.items():
+            if name.startswith(prefix) and metric.kind != "histogram":
+                total += metric.value
+        return total
+
+    def filtered_snapshot(self, prefixes) -> dict[str, object]:
+        """Like :meth:`snapshot`, restricted to the given name prefixes."""
+        out = {}
+        for (name, label_key), metric in self._metrics.items():
+            if any(name.startswith(prefix) for prefix in prefixes):
+                out[_render_name(name, label_key)] = metric.snapshot()
+        return dict(sorted(out.items()))
+
     def dump(self) -> dict:
         """Serializable full state, suitable for :meth:`merge`.
 
@@ -260,6 +280,12 @@ class NullRegistry:
         pass
 
     def snapshot(self) -> dict:
+        return {}
+
+    def sum_matching(self, prefix: str) -> float:
+        return 0.0
+
+    def filtered_snapshot(self, prefixes) -> dict:
         return {}
 
     def dump(self) -> dict:

@@ -351,7 +351,7 @@ def test_manifest_round_trips_through_json(tmp_path):
         loaded = json.loads(path.read_text())
     rebuilt = json.loads(json.dumps(loaded))
     assert rebuilt == loaded
-    assert rebuilt["schema"] == "repro-telemetry/1"
+    assert rebuilt["schema"] == "repro-telemetry/2"
     assert rebuilt["command"] == "experiments.runner"
     assert rebuilt["stats"]["workload"] == "chaos"
     assert rebuilt["stats"]["wall_seconds"] > 0
@@ -360,9 +360,12 @@ def test_manifest_round_trips_through_json(tmp_path):
     kinds = {e["kind"] for e in rebuilt["events"]["events"]}
     assert "gc.minor.end" in kinds
     assert "jit.trace_compile" in kinds
+    # The unified trace mixes complete spans with lane metadata and
+    # instant markers.
     for event in rebuilt["chrome_trace"]["traceEvents"]:
-        assert event["ph"] == "X"
-        assert "ts" in event and "dur" in event
+        assert event["ph"] in ("X", "M", "i")
+        if event["ph"] == "X":
+            assert "ts" in event and "dur" in event
 
 
 def test_write_manifest_mirrors_last_run(tmp_path):
@@ -401,7 +404,9 @@ def test_cli_metrics_out_writes_manifest(tmp_path, capsys):
     assert manifest["stats"]["bytecodes"] > 0
     trace_events = manifest["chrome_trace"]["traceEvents"]
     assert trace_events and all(
-        e["ph"] == "X" and "ts" in e and "dur" in e for e in trace_events)
+        "ts" in e and "dur" in e
+        for e in trace_events if e["ph"] == "X")
+    assert any(e["ph"] == "X" for e in trace_events)
     # The CLI leaves library defaults untouched.
     assert not TELEMETRY.enabled
 
@@ -425,7 +430,8 @@ def test_cli_telemetry_tree_and_chrome_out(tmp_path, capsys):
     capsys.readouterr()
     trace = json.loads(chrome.read_text())
     assert trace["traceEvents"]
-    assert all(e["ph"] == "X" for e in trace["traceEvents"])
+    assert all(e["ph"] in ("X", "M", "i") for e in trace["traceEvents"])
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
 
 
 def test_cli_telemetry_without_manifest_fails(capsys):
