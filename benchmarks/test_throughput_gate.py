@@ -1,11 +1,13 @@
 """Simulation-throughput regression gates.
 
-Fails the bench suite when a gated pipeline stage — ``sim.memory_side``
-(cache + branch simulation) or ``sim.core.ooo`` (the batched OOO core)
-— falls below half of its checked-in baseline throughput, so a change
-that quietly de-vectorizes a hot loop cannot land unnoticed. Both
-stages are read from the same telemetry gauge the production pipeline
-updates (``sim.instructions_per_second``).
+Fails the bench suite when a gated pipeline stage — ``guest`` (trace
+emission by the interpreter models), ``sim.memory_side`` (cache +
+branch simulation) or ``sim.core.ooo`` (the batched OOO core) — falls
+below half of its checked-in baseline throughput, so a change that
+quietly de-vectorizes a hot loop or de-fuses the burst emitter cannot
+land unnoticed. Every stage is read from the telemetry gauge the
+production pipeline updates (``sim.instructions_per_second`` for the
+simulator stages, ``guest.instructions_per_second`` for emission).
 
 Refresh the baselines on the target machine with one command:
 
@@ -38,13 +40,24 @@ def _gauge(stage: str) -> float:
         f"sim.instructions_per_second{{stage={stage}}}", 0.0)
 
 
+def _guest_gauge() -> float:
+    return TELEMETRY.metrics.snapshot().get(
+        "guest.instructions_per_second{runtime=cpython}", 0.0)
+
+
 def _measure(repeats: int = 3) -> dict:
     """Best observed throughput per gated stage, instructions/second."""
-    runner = ExperimentRunner(scale=2)
-    handle = runner.run("deltablue", runtime="cpython")
+    from repro.experiments.diskcache import DiskCache
+    best = {"guest": 0.0, "sim.memory_side": 0.0, "sim.core.ooo": 0.0}
+    handle = None
+    for _ in range(repeats):
+        # A fresh cache-bypassing runner per repeat: the gauge is only
+        # set by a run that actually interprets.
+        bypass = ExperimentRunner(scale=2, disk_cache=DiskCache(None))
+        handle = bypass.run("deltablue", runtime="cpython")
+        best["guest"] = max(best["guest"], _guest_gauge())
     config = skylake_config()
     system = SimulatedSystem(config)
-    best = {"sim.memory_side": 0.0, "sim.core.ooo": 0.0}
     state = None
     for _ in range(repeats):
         state = system.memory_side(handle.trace)

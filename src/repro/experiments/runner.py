@@ -154,6 +154,16 @@ class ExperimentRunner:
         #: to count how often a fresh trace reuses one, i.e. how often
         #: the old id()-keyed state cache would have aliased.
         self._retired_trace_ids: set[int] = set()
+        #: Disk keys of entries LRU-evicted from the in-memory caches
+        #: that survive on disk. A later disk hit on one of these is a
+        #: "spill hit": the disk cache acted as an overflow tier for
+        #: this runner, not just a cross-invocation store.
+        self._spilled_keys: set[str] = set()
+        #: In-memory state key -> disk key. A MemorySideState carries
+        #: no run parameters, so its eviction can only be attributed to
+        #: a disk entry through this map (traces recompute theirs from
+        #: the evicted handle).
+        self._state_disk_keys: dict[tuple, str] = {}
         #: When set, a manifest is written here after every fresh run.
         self.metrics_out = metrics_out
         self.last_handle: RunHandle | None = None
@@ -205,6 +215,8 @@ class ExperimentRunner:
         if cached is not None:
             metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
             metrics.counter("runner.disk_cache.hit", kind="trace").inc()
+            if disk_key in self._spilled_keys:
+                metrics.counter("cache.spill_hits", kind="trace").inc()
             self.last_cache_key = disk_key
             return self._adopt_handle(key, cached)
         metrics.counter("runner.trace_cache.miss", runtime=runtime).inc()
@@ -258,7 +270,7 @@ class ExperimentRunner:
         self._traces[key] = handle
         while len(self._traces) > self._trace_cache_size:
             _, evicted = self._traces.popitem(last=False)
-            self._retired_trace_ids.add(id(evicted.trace))
+            self._note_trace_eviction(evicted)
         self.last_handle = handle
         self.disk_cache.store_run(disk_key, handle)
         if self.metrics_out is not None:
@@ -283,9 +295,20 @@ class ExperimentRunner:
         self._traces[key] = handle
         while len(self._traces) > self._trace_cache_size:
             _, evicted = self._traces.popitem(last=False)
-            self._retired_trace_ids.add(id(evicted.trace))
+            self._note_trace_eviction(evicted)
         self.last_handle = handle
         return handle
+
+    def _note_trace_eviction(self, evicted: RunHandle) -> None:
+        """One trace left memory; if it lives on disk, that is a spill."""
+        self._retired_trace_ids.add(id(evicted.trace))
+        if not self.disk_cache.enabled:
+            return
+        disk_key = content_key(self._trace_key_params(
+            evicted.workload, evicted.runtime, evicted.jit,
+            evicted.nursery, evicted.warmup_runs))
+        self._spilled_keys.add(disk_key)
+        TELEMETRY.metrics.counter("cache.spilled", kind="trace").inc()
 
     # ------------------------------------------------------------------
     # Microarchitecture simulation
@@ -329,6 +352,9 @@ class ExperimentRunner:
         if state is not None:
             metrics.counter("runner.state_cache.hit").inc()
             metrics.counter("runner.disk_cache.hit", kind="state").inc()
+            if disk_key in self._spilled_keys:
+                metrics.counter("cache.spill_hits", kind="state").inc()
+            self._state_disk_keys[key] = disk_key
             self._store_state(key, state)
             return state
         metrics.counter("runner.state_cache.miss").inc()
@@ -339,6 +365,7 @@ class ExperimentRunner:
                                    runtime=handle.runtime):
             system = SimulatedSystem(config)
             state = system.memory_side(handle.trace)
+        self._state_disk_keys[key] = disk_key
         self._store_state(key, state)
         self.disk_cache.store_state(disk_key, state)
         return state
@@ -346,7 +373,12 @@ class ExperimentRunner:
     def _store_state(self, key: tuple, state: MemorySideState) -> None:
         self._states[key] = state
         while len(self._states) > self._state_cache_size:
-            self._states.popitem(last=False)
+            evicted_key, _ = self._states.popitem(last=False)
+            disk_key = self._state_disk_keys.pop(evicted_key, None)
+            if disk_key is not None and self.disk_cache.enabled:
+                self._spilled_keys.add(disk_key)
+                TELEMETRY.metrics.counter("cache.spilled",
+                                          kind="state").inc()
 
     def simulate(self, handle: RunHandle, config: MachineConfig,
                  core: str = "ooo"):

@@ -86,6 +86,10 @@ def _cache_lines() -> list[str]:
         if block:
             lines.append(f"  {kind:9s}: {block['entries']} entries, "
                          f"{_fmt_bytes(block['bytes'])}")
+    spill = usage.get("spill")
+    if spill and spill["entries"]:
+        lines.append(f"  spill    : {spill['entries']} live files, "
+                     f"{_fmt_bytes(spill['bytes'])}")
     if usage.get("quarantined_files"):
         lines.append(f"  quarantine: {usage['quarantined_files']} files")
     telemetry = usage.get("telemetry")

@@ -1,0 +1,151 @@
+"""Optional compiled kernel for the burst-emission flush.
+
+The burst engine's flush is a deterministic expansion: walk the queue of
+template ids, copy each template's static rows into the trace buffer,
+and add the linear fixups from the flat dynamic-operand stream. That is
+a ~40-line C loop, so — exactly like the OOO core's
+:mod:`repro.uarch._ooo_kernel` — this module builds it into a
+per-process shared library with one ``cc -O2 -shared`` invocation at
+first use and the engine dispatches flushes to it. Everything is
+best-effort: no compiler, a failed build, or ``REPRO_EMIT_KERNEL=off``
+all degrade silently to the batched-NumPy flush, and both paths stamp
+bit-identical rows (the kernel is an evaluation order change, not a
+model change).
+
+This is deliberately *not* a build-time extension: the repository must
+stay importable from source with nothing but numpy.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+
+import numpy as np
+
+#: Environment switch: ``auto`` (default) compiles when possible,
+#: ``off`` disables the kernel entirely (pure-NumPy flush).
+KERNEL_ENV = "REPRO_EMIT_KERNEL"
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Expand the deferred emission queue into row-major int64 trace rows.
+
+   order      queue of template ids (n_entries)
+   dyn        flat stream of dynamic operands, arity[tid] per entry
+   statics    concatenated template rows (8 cells each)
+   static_off per-tid row offset into statics
+   rows       per-tid row count
+   arity      per-tid dynamic-operand count
+   fix_off    per-tid offset into fixups (in fixup records)
+   fix_cnt    per-tid fixup record count
+   fixups     packed (row, col, dyn_index, coefficient) records
+   out        destination rows (caller-reserved, row-major, 8 cells)
+
+   Template id 0 is RAW: arity 8, the operands are the row itself. */
+
+int64_t burst_flush(const int64_t *order, int64_t n_entries,
+                    const int64_t *dyn,
+                    const int64_t *statics,
+                    const int64_t *static_off,
+                    const int64_t *rows, const int64_t *arity,
+                    const int64_t *fix_off, const int64_t *fix_cnt,
+                    const int64_t *fixups,
+                    int64_t *out)
+{
+    int64_t d = 0, r = 0;
+    for (int64_t e = 0; e < n_entries; e++) {
+        int64_t tid = order[e];
+        int64_t k = rows[tid];
+        int64_t *dst = out + r * 8;
+        if (tid == 0) {
+            memcpy(dst, dyn + d, 8 * sizeof(int64_t));
+        } else {
+            memcpy(dst, statics + static_off[tid] * 8,
+                   (size_t)k * 8 * sizeof(int64_t));
+            const int64_t *fx = fixups + fix_off[tid] * 4;
+            for (int64_t f = fix_cnt[tid]; f > 0; f--, fx += 4)
+                dst[fx[0] * 8 + fx[1]] += fx[3] * dyn[d + fx[2]];
+        }
+        d += arity[tid];
+        r += k;
+    }
+    return r;
+}
+"""
+
+_lock = threading.Lock()
+_kernel = None
+_kernel_tried = False
+
+_P64 = ctypes.POINTER(ctypes.c_int64)
+
+
+def _build() -> ctypes.CDLL | None:
+    cc = (os.environ.get("CC") or shutil.which("cc")
+          or shutil.which("gcc") or shutil.which("clang"))
+    if cc is None:
+        return None
+    tmpdir = tempfile.mkdtemp(prefix="repro-emit-kernel-")
+    atexit.register(shutil.rmtree, tmpdir, ignore_errors=True)
+    src = os.path.join(tmpdir, "emit_kernel.c")
+    suffix = ".dylib" if sys.platform == "darwin" else ".so"
+    lib = os.path.join(tmpdir, "emit_kernel" + suffix)
+    with open(src, "w", encoding="utf-8") as fh:
+        fh.write(_SOURCE)
+    cmd = [cc, "-O2", "-shared", "-fPIC", "-o", lib, src]
+    try:
+        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+        dll = ctypes.CDLL(lib)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    dll.burst_flush.restype = ctypes.c_int64
+    dll.burst_flush.argtypes = [
+        _P64, ctypes.c_int64, _P64,
+        _P64, _P64, _P64, _P64, _P64, _P64, _P64, _P64,
+    ]
+    return dll
+
+
+class _FlushKernel:
+    """Thin numpy-aware wrapper around the compiled entry point."""
+
+    __slots__ = ("_dll",)
+
+    def __init__(self, dll: ctypes.CDLL) -> None:
+        self._dll = dll
+
+    def burst_flush(self, order, n_entries, dyn, statics, static_off,
+                    rows, arity, fix_off, fix_cnt, fixups, out) -> int:
+        def p(arr: np.ndarray):
+            return arr.ctypes.data_as(_P64)
+
+        return int(self._dll.burst_flush(
+            p(order), n_entries, p(dyn), p(statics), p(static_off),
+            p(rows), p(arity), p(fix_off), p(fix_cnt), p(fixups),
+            p(out)))
+
+
+def get_kernel() -> _FlushKernel | None:
+    """The compiled flush kernel, building on first use (or ``None``)."""
+    global _kernel, _kernel_tried
+    if os.environ.get(KERNEL_ENV, "auto").lower() in ("off", "0", "no"):
+        return None
+    with _lock:
+        if not _kernel_tried:
+            _kernel_tried = True
+            dll = _build()
+            _kernel = _FlushKernel(dll) if dll is not None else None
+    return _kernel
+
+
+def kernel_available() -> bool:
+    return get_kernel() is not None

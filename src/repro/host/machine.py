@@ -19,6 +19,8 @@ and the matching epilogue — all tagged ``C_FUNCTION_CALL``.
 
 from __future__ import annotations
 
+import os
+
 from ..categories import OverheadCategory
 from ..errors import VMError
 from .address_space import AddressSpace, C_STACK_TOP
@@ -29,6 +31,7 @@ from .isa import (
     INSTR_BYTES,
     InstrKind,
 )
+from .burst import FLUSH_ENTRIES as _FLUSH_ENTRIES
 from .trace import InstructionTrace
 
 #: Bytes of simulated static code reserved per site (32 instruction slots).
@@ -52,13 +55,40 @@ _RET = int(InstrKind.RET)
 _MUL = int(InstrKind.MUL)
 _DIV = int(InstrKind.DIV)
 
+#: Environment switch for the emission backend: ``auto`` (default)
+#: selects the deferred burst engine, ``scalar`` the original per-row
+#: append path. Both are bit-identical; ``scalar`` remains as the
+#: reference implementation and slow-path fallback.
+BACKEND_ENV = "REPRO_EMIT_BACKEND"
+
+#: Emit helpers shadowed per-instance by ``_<name>_burst`` variants in
+#: burst mode. The template recorder (:meth:`BurstEngine.record`) pops
+#: these instance attributes for the duration of a recording run so the
+#: scalar class bodies — which emit through ``self._emit`` — feed its
+#: row collector instead of the raw queue.
+BURST_SHADOWED = ("c_call_enter", "c_call_exit", "alu", "fpu", "mul",
+                  "div", "load", "store", "branch", "indirect_branch",
+                  "touch_range")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalize a backend request (arg wins over the environment)."""
+    choice = (backend or os.environ.get(BACKEND_ENV, "auto")).lower()
+    if choice in ("auto", "burst", ""):
+        return "burst"
+    if choice == "scalar":
+        return "scalar"
+    raise VMError(f"unknown {BACKEND_ENV} value: {choice!r} "
+                  "(expected auto|burst|scalar)")
+
 
 class HostMachine:
     """Emit API used by the run-time models; owns PCs, trace, and C stack."""
 
     def __init__(self, space: AddressSpace | None = None,
                  trace: InstructionTrace | None = None,
-                 max_instructions: int = 200_000_000) -> None:
+                 max_instructions: int = 200_000_000,
+                 backend: str | None = None) -> None:
         self.space = space if space is not None else AddressSpace()
         self.trace = trace if trace is not None else InstructionTrace()
         self.max_instructions = max_instructions
@@ -83,17 +113,29 @@ class HostMachine:
         #: everything a C extension does — including its allocations and
         #: internal calls — counts as C library time (Section IV-C.1).
         self.clib_depth = 0
-        # Bind trace columns locally: emit helpers are the hottest code in
-        # the package, and attribute lookups dominate otherwise.
-        t = self.trace
-        self._pc = t.pc
-        self._kind = t.kind
-        self._cat = t.category
-        self._addr = t.addr
-        self._size = t.size
-        self._dep = t.dep
-        self._flags = t.flags
-        self._origin_col = t.origin
+        # Bind the trace's staging columns locally: emit helpers are the
+        # hottest code in the package, and attribute lookups dominate
+        # otherwise. The trace drains these into its committed buffer in
+        # bulk; the array objects themselves are stable across drains.
+        (self._pc, self._kind, self._cat, self._addr, self._size,
+         self._dep, self._flags, self._origin_col) = self.trace._stage
+        self.backend = resolve_backend(backend)
+        self._engine = None
+        if self.backend == "burst":
+            from .burst import BurstEngine
+            self._engine = BurstEngine(self)
+            # Instance-attribute shadowing: the scalar class methods stay
+            # reachable (template recording and the slow path use them).
+            self._emit = self._emit_burst
+            self._cc_enter_tids: dict[tuple, tuple | None] = {}
+            self._cc_exit_tids: dict[tuple, tuple | None] = {}
+            # The single-row helpers enqueue RAW rows directly instead
+            # of going through ``_emit_burst`` — one Python call per row
+            # instead of two on the hottest path in the package. The
+            # engine's recorder pops these shadows while a template is
+            # being recorded so the scalar bodies reach its collector.
+            for name in BURST_SHADOWED:
+                setattr(self, name, getattr(self, "_" + name + "_burst"))
 
     # ------------------------------------------------------------------
     # Sites (static code locations)
@@ -125,11 +167,11 @@ class HostMachine:
         return pc
 
     def instruction_count(self) -> int:
-        return len(self._pc)
+        return len(self.trace)
 
     def check_budget(self) -> None:
         """Abort the simulation if the trace has grown past the budget."""
-        if len(self._pc) > self.max_instructions:
+        if len(self.trace) > self.max_instructions:
             raise VMError(
                 f"instruction budget exceeded "
                 f"({self.max_instructions} host instructions); "
@@ -153,6 +195,142 @@ class HostMachine:
         self._dep.append(dep)
         self._flags.append(flags)
         self._origin_col.append(self.origin)
+
+    def _emit_burst(self, pc: int, kind: int, cat: int, addr: int,
+                    size: int, dep: int, flags: int) -> None:
+        """Burst-backend ``_emit``: enqueue one RAW row for the flush."""
+        if self.suppressed:
+            return
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        engine = self._engine
+        engine.order.append(0)
+        engine.dyn.extend(
+            (pc, kind, cat, addr, size, dep, flags, self.origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
+
+    def _raw_burst(self, pc: int, kind: int, cat: int, addr: int,
+                   size: int, dep: int, flags: int) -> None:
+        """Enqueue one RAW row (burst backend, suppression pre-checked)."""
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        engine = self._engine
+        engine.order.append(0)
+        engine.dyn.extend(
+            (pc, kind, cat, addr, size, dep, flags, self.origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
+
+    def _alu_burst(self, site: int, cat: int, n: int = 1,
+                   dep: int = 1) -> None:
+        if self.suppressed:
+            return
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        engine = self._engine
+        order = engine.order
+        dyn = engine.dyn
+        origin = self.origin
+        if n == 1:
+            order.append(0)
+            dyn.extend((site, _ALU, cat, 0, 0, dep, 0, origin))
+        else:
+            for i in range(n):
+                order.append(0)
+                dyn.extend((site + INSTR_BYTES * (i & 31), _ALU, cat,
+                            0, 0, dep, 0, origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
+
+    def _fpu_burst(self, site: int, cat: int, n: int = 1,
+                   dep: int = 1) -> None:
+        if self.suppressed:
+            return
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        engine = self._engine
+        order = engine.order
+        dyn = engine.dyn
+        origin = self.origin
+        for i in range(n):
+            order.append(0)
+            dyn.extend((site + INSTR_BYTES * (i & 31), _FPU, cat,
+                        0, 0, dep, 0, origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
+
+    def _mul_burst(self, site: int, cat: int, dep: int = 1) -> None:
+        if not self.suppressed:
+            self._raw_burst(site, _MUL, cat, 0, 0, dep, 0)
+
+    def _div_burst(self, site: int, cat: int, dep: int = 1) -> None:
+        if not self.suppressed:
+            self._raw_burst(site, _DIV, cat, 0, 0, dep, 0)
+
+    def _load_burst(self, site: int, cat: int, addr: int, size: int = 8,
+                    dep: int = 1) -> None:
+        if self.suppressed:
+            return
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        engine = self._engine
+        engine.order.append(0)
+        engine.dyn.extend(
+            (site, _LOAD, cat, addr, size, dep, 0, self.origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
+
+    def _store_burst(self, site: int, cat: int, addr: int, size: int = 8,
+                     dep: int = 1) -> None:
+        if self.suppressed:
+            return
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        engine = self._engine
+        engine.order.append(0)
+        engine.dyn.extend(
+            (site, _STORE, cat, addr, size, dep, 0, self.origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
+
+    def _branch_burst(self, site: int, cat: int, taken: bool,
+                      conditional: bool = True, target: int = 0,
+                      dep: int = 1) -> None:
+        if self.suppressed:
+            return
+        flags = (FLAG_TAKEN if taken else 0) | \
+                (FLAG_COND if conditional else 0)
+        self._raw_burst(site, _BRANCH, cat, target, 0, dep, flags)
+
+    def _indirect_branch_burst(self, site: int, cat: int, target: int,
+                               dep: int = 1) -> None:
+        if not self.suppressed:
+            self._raw_burst(site, _BRANCH, cat, target, 0, dep,
+                            FLAG_TAKEN | FLAG_INDIRECT)
+
+    def _touch_range_burst(self, site: int, cat: int, addr: int,
+                           nbytes: int, write: bool = False,
+                           dep: int = 1) -> None:
+        if nbytes <= 0 or self.suppressed:
+            return
+        if self.clib_depth and cat != _GC_CAT:
+            cat = _C_LIBRARY
+        kind = _STORE if write else _LOAD
+        engine = self._engine
+        order = engine.order
+        dyn = engine.dyn
+        origin = self.origin
+        first = addr - (addr % TOUCH_GRANULARITY)
+        last = addr + nbytes - 1
+        count = (last - first) // TOUCH_GRANULARITY + 1
+        for i in range(count):
+            order.append(0)
+            dyn.extend((site + INSTR_BYTES * (i & 31), kind, cat,
+                        first + i * TOUCH_GRANULARITY, TOUCH_GRANULARITY,
+                        dep, 0, origin))
+        if len(engine.order) >= _FLUSH_ENTRIES:
+            engine.flush()
 
     def alu(self, site: int, cat: int, n: int = 1, dep: int = 1) -> None:
         """Emit ``n`` single-cycle ALU operations at ``site``."""
@@ -235,14 +413,21 @@ class HostMachine:
         automatically (Section IV-C.1's "still significant even in the C
         library code").
         """
-        cat = category
+        if self.devirtualize:
+            indirect = False
+        sp = self.sp
+        self._rows_c_enter(site, callee, indirect, args, saves, category,
+                           sp)
+        self.sp = sp - frame_bytes
+        self._frames.append((sp, saves, category))
+
+    def _rows_c_enter(self, site: int, callee: int, indirect: bool,
+                      args: int, saves: int, cat: int, sp: int) -> None:
+        """Emission-only body of :meth:`c_call_enter` (no side effects)."""
         emit = self._emit
         # Argument setup: independent register moves.
         for i in range(args):
             emit(site + INSTR_BYTES * (i & 31), _ALU, cat, 0, 0, 0, 0)
-        sp = self.sp
-        if self.devirtualize:
-            indirect = False
         # The call pushes the return address.
         call_kind = _ICALL if indirect else _CALL
         call_flags = (FLAG_TAKEN | FLAG_INDIRECT) if indirect else FLAG_TAKEN
@@ -257,14 +442,18 @@ class HostMachine:
         for i in range(saves):
             emit(callee + (4 + i) * INSTR_BYTES, _STORE, cat,
                  sp - 24 - 8 * i, 8, 0, 0)
-        self.sp = sp - frame_bytes
-        self._frames.append((sp, saves, cat))
 
     def c_call_exit(self, callee: int) -> None:
         """Emit the matching C epilogue: register restores, leave, ret."""
         if not self._frames:
             raise VMError("c_call_exit without matching c_call_enter")
         sp, saves, cat = self._frames.pop()
+        self._rows_c_exit(callee, saves, cat, sp)
+        self.sp = sp
+
+    def _rows_c_exit(self, callee: int, saves: int, cat: int,
+                     sp: int) -> None:
+        """Emission-only body of :meth:`c_call_exit` (no side effects)."""
         emit = self._emit
         for i in range(saves):
             emit(callee + (10 + i) * INSTR_BYTES, _LOAD, cat,
@@ -274,7 +463,80 @@ class HostMachine:
         emit(callee + 21 * INSTR_BYTES, _LOAD, cat, sp - 16, 8, 1, 0)
         emit(callee + 22 * INSTR_BYTES, _RET, cat, sp - 8, 0, 1,
              FLAG_TAKEN)
+
+    def _c_call_enter_burst(self, site: int, callee: int, *,
+                            indirect: bool = False, args: int = 2,
+                            saves: int = 2, frame_bytes: int = 64,
+                            category: int = _C_CALL) -> None:
+        """Burst-backend :meth:`c_call_enter`: one queued template."""
+        if self.devirtualize:
+            indirect = False
+        sp = self.sp
+        if self.suppressed or self.clib_depth:
+            # The raw queue applies suppression / C-library re-tagging.
+            self._rows_c_enter(site, callee, indirect, args, saves,
+                               category, sp)
+        else:
+            key = (site, callee, indirect, args, saves, category)
+            entry = self._cc_enter_tids.get(key, ())
+            if entry == ():
+                entry = self._record_c_enter(key)
+            if entry is None:
+                self._rows_c_enter(site, callee, indirect, args, saves,
+                                   category, sp)
+            else:
+                tid, rows = entry
+                engine = self._engine
+                engine.order.append(tid)
+                engine.dyn.extend((self.origin, sp))
+        self.sp = sp - frame_bytes
+        self._frames.append((sp, saves, category))
+
+    def _record_c_enter(self, key: tuple) -> tuple | None:
+        site, callee, indirect, args, saves, category = key
+
+        def thunk(_values):
+            self._rows_c_enter(site, callee, indirect, args, saves,
+                               category, self.sp)
+
+        tid = self._engine.record(thunk, [], implicit=("origin", "sp"))
+        entry = None if tid is None \
+            else (tid, self._engine.templates[tid].rows)
+        self._cc_enter_tids[key] = entry
+        return entry
+
+    def _c_call_exit_burst(self, callee: int) -> None:
+        """Burst-backend :meth:`c_call_exit`: one queued template."""
+        if not self._frames:
+            raise VMError("c_call_exit without matching c_call_enter")
+        sp, saves, cat = self._frames.pop()
+        if self.suppressed or self.clib_depth:
+            self._rows_c_exit(callee, saves, cat, sp)
+        else:
+            key = (callee, saves, cat)
+            entry = self._cc_exit_tids.get(key, ())
+            if entry == ():
+                entry = self._record_c_exit(key)
+            if entry is None:
+                self._rows_c_exit(callee, saves, cat, sp)
+            else:
+                tid, rows = entry
+                engine = self._engine
+                engine.order.append(tid)
+                engine.dyn.extend((self.origin, sp))
         self.sp = sp
+
+    def _record_c_exit(self, key: tuple) -> tuple | None:
+        callee, saves, cat = key
+
+        def thunk(_values):
+            self._rows_c_exit(callee, saves, cat, self.sp)
+
+        tid = self._engine.record(thunk, [], implicit=("origin", "sp"))
+        entry = None if tid is None \
+            else (tid, self._engine.templates[tid].rows)
+        self._cc_exit_tids[key] = entry
+        return entry
 
     def c_call(self, site_name: str, callee_name: str, *,
                indirect: bool = False, args: int = 2, saves: int = 2,

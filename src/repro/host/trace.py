@@ -1,8 +1,25 @@
 """Columnar instruction traces.
 
 A trace is the interface between the run-time models (producers) and the
-microarchitecture models (consumers). Columns are appended as flat Python
-``array`` buffers for speed and exposed to consumers as numpy arrays.
+microarchitecture models (consumers). Committed rows live in one
+preallocated row-major NumPy buffer (``int64``, shape ``(capacity, 8)``)
+that grows by doubling behind an explicit cursor; two *staging* paths
+feed it:
+
+* the scalar append path — eight flat ``array`` columns the
+  :class:`~repro.host.machine.HostMachine` appends to directly, drained
+  into the buffer in bulk; and
+* the burst path — a deferred emission queue owned by
+  :class:`~repro.host.burst.BurstEngine`, registered here as a *flusher*
+  so length queries and readers always see a consistent trace.
+
+Traces past the ``REPRO_TRACE_SPILL_MB`` threshold migrate the buffer to
+a memory-mapped file under the disk cache's ``spill/`` directory, so
+10–100M-instruction traces stream through the page cache instead of
+living wholly in RAM. Consumers then receive ``int64`` memmap-backed
+column views; :meth:`InstructionTrace.save` always casts back to the
+canonical column dtypes, so persisted bytes are identical with spill on
+or off.
 
 Columns
 -------
@@ -19,6 +36,7 @@ origin    origin PC for caller-dependent annotation (Section IV-B.1)
 
 from __future__ import annotations
 
+import os
 from array import array
 from pathlib import Path
 
@@ -29,54 +47,299 @@ from ..errors import TraceError
 _COLUMNS = ("pc", "kind", "category", "addr", "size", "dep", "flags",
             "origin")
 
+#: Canonical on-disk / consumer-facing dtype per column (matches the
+#: ``array`` typecodes the original implementation used).
+_TYPECODES = ("q", "b", "b", "q", "i", "i", "b", "q")
+_DTYPES = tuple(np.dtype(code) for code in _TYPECODES)
+
+#: Initial committed-buffer capacity in rows. 128K rows (8 MB) covers
+#: small-to-medium traces outright, so most runs never pay a growth
+#: copy; larger traces grow geometrically from here.
+_INITIAL_ROWS = 1 << 17
+
+#: Drain the scalar staging columns into the buffer past this many rows.
+_STAGE_DRAIN_ROWS = 1 << 15
+
+SPILL_ENV = "REPRO_TRACE_SPILL_MB"
+
+_ROW_BYTES = 8 * 8  # eight int64 cells per row
+
+_spill_seq = 0
+
+
+def _spill_threshold_bytes() -> int | None:
+    """Spill threshold from ``REPRO_TRACE_SPILL_MB`` (None = disabled)."""
+    raw = os.environ.get(SPILL_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    if mb <= 0:
+        return None
+    return int(mb * 1024 * 1024)
+
+
+def _spill_directory() -> Path | None:
+    """The disk cache's ``spill/`` dir, or None when caching is off.
+
+    Imported lazily: the host layer must stay importable without the
+    experiments package, and spill is pointless without a cache root to
+    govern the files (``repro cache gc`` evicts orphans).
+    """
+    try:
+        from ..experiments.diskcache import DiskCache
+    except ImportError:  # pragma: no cover - packaging safety net
+        return None
+    root = DiskCache().root
+    if root is None:
+        return None
+    return Path(root) / "spill"
+
 
 class InstructionTrace:
     """Append-only columnar buffer of host instructions."""
 
     def __init__(self) -> None:
-        self.pc = array("q")
-        self.kind = array("b")
-        self.category = array("b")
-        self.addr = array("q")
-        self.size = array("i")
-        self.dep = array("i")
-        self.flags = array("b")
-        self.origin = array("q")
+        self._buf = np.zeros((_INITIAL_ROWS, 8), dtype=np.int64)
+        self._n = 0  # committed rows in self._buf
+        # Scalar staging columns: the machine's emit helpers bind and
+        # append to these directly (array.append is far cheaper than a
+        # per-row numpy assignment); they are drained in bulk.
+        self._stage = tuple(array(code) for code in _TYPECODES)
+        #: Optional deferred-emission queue (burst engine). Must expose
+        #: ``pending_rows`` and ``flush()``.
+        self._flusher = None
+        self._sealed = False
+        self._spill_bytes = _spill_threshold_bytes()
+        self._spill_path: Path | None = None
         self._frozen: dict[str, np.ndarray] | None = None
         self._frozen_len = -1
 
+    # ------------------------------------------------------------------
+    # Length and synchronization
+    # ------------------------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self.pc)
+        n = self._n + len(self._stage[0])
+        flusher = self._flusher
+        if flusher is not None:
+            n += flusher.pending_rows
+        return n
+
+    def _sync(self) -> None:
+        """Drain staging and the burst queue into the committed buffer."""
+        flusher = self._flusher
+        if flusher is not None and flusher.pending_rows:
+            flusher.flush()
+        if len(self._stage[0]):
+            self._drain_stage()
+
+    def _drain_stage(self) -> None:
+        stage = self._stage
+        k = len(stage[0])
+        if not k:
+            return
+        if self._sealed:
+            raise TraceError("trace is frozen; late appends are invalid")
+        start = self.alloc_rows(k)
+        buf = self._buf
+        for j, (column, dtype) in enumerate(zip(stage, _DTYPES)):
+            buf[start:start + k, j] = np.frombuffer(column, dtype=dtype)
+            del column[:]
+
+    # ------------------------------------------------------------------
+    # Writers
+    # ------------------------------------------------------------------
 
     def append(self, pc: int, kind: int, category: int, addr: int = 0,
                size: int = 0, dep: int = 1, flags: int = 0,
                origin: int = 0) -> None:
         """Append one instruction. Hot path: keep argument handling flat."""
-        self.pc.append(pc)
-        self.kind.append(kind)
-        self.category.append(category)
-        self.addr.append(addr)
-        self.size.append(size)
-        self.dep.append(dep)
-        self.flags.append(flags)
-        self.origin.append(origin)
+        if self._sealed:
+            raise TraceError("trace is frozen; append is invalid")
+        flusher = self._flusher
+        if flusher is not None and flusher.pending_rows:
+            flusher.flush()  # keep row order across emission paths
+        stage = self._stage
+        stage[0].append(pc)
+        stage[1].append(kind)
+        stage[2].append(category)
+        stage[3].append(addr)
+        stage[4].append(size)
+        stage[5].append(dep)
+        stage[6].append(flags)
+        stage[7].append(origin)
+        if len(stage[0]) >= _STAGE_DRAIN_ROWS:
+            self._drain_stage()
+
+    def alloc_rows(self, count: int) -> int:
+        """Reserve ``count`` committed rows; return the start index.
+
+        The caller must fill ``buffer()[start:start+count]`` completely.
+        Used by the staging drain and the burst engine's flush.
+        """
+        if self._sealed:
+            raise TraceError("trace is frozen; appending rows is invalid")
+        needed = self._n + count
+        if needed > self._buf.shape[0]:
+            self._grow(needed)
+        start = self._n
+        self._n = needed
+        return start
+
+    def buffer(self) -> np.ndarray:
+        """The committed row-major buffer (valid rows: ``[:alloc'd]``)."""
+        return self._buf
+
+    def _grow(self, needed_rows: int) -> None:
+        # Grow 8x: geometric growth keeps total copy volume at ~1/7 of
+        # the final capacity (vs ~1x for doubling), and the copies are
+        # the only real cost here — rows past the cursor are written
+        # before they are ever read, so the buffer is left uninitialized.
+        cap = self._buf.shape[0]
+        new_cap = max(cap * 8, needed_rows)
+        spill = self._spill_bytes
+        if (self._spill_path is None and spill is not None
+                and new_cap * _ROW_BYTES >= spill):
+            if self._spill_to_disk(new_cap):
+                return
+        if self._spill_path is not None:
+            self._remap(new_cap)
+            return
+        grown = np.empty((new_cap, 8), dtype=np.int64)
+        grown[:self._n] = self._buf[:self._n]
+        self._buf = grown
+
+    # ------------------------------------------------------------------
+    # Spill-to-disk storage
+    # ------------------------------------------------------------------
+
+    def _spill_to_disk(self, cap_rows: int) -> bool:
+        """Move the buffer to a memmap under the cache's spill dir."""
+        global _spill_seq
+        directory = _spill_directory()
+        if directory is None:
+            self._spill_bytes = None  # caching off: stay in memory
+            return False
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            _spill_seq += 1
+            stem = f"trace-{os.getpid()}-{_spill_seq}"
+            path = directory / f"{stem}.bin"
+            mm = np.memmap(path, dtype=np.int64, mode="w+",
+                           shape=(cap_rows, 8))
+            # Sidecar-last: the .json marks the spill file as live and
+            # complete, mirroring the cache's commit protocol so gc can
+            # treat sidecar-less files as partial writes.
+            sidecar = directory / f"{stem}.json"
+            sidecar.write_text(
+                '{"kind": "trace_spill", "pid": %d}\n' % os.getpid(),
+                encoding="utf-8")
+        except OSError:
+            self._spill_bytes = None  # unwritable spill dir: stay in RAM
+            return False
+        mm[:self._n] = self._buf[:self._n]
+        self._buf = mm
+        self._spill_path = path
+        from ..telemetry import TELEMETRY
+        TELEMETRY.metrics.counter("trace.spilled").inc()
+        return True
+
+    def _remap(self, cap_rows: int) -> None:
+        """Grow the spill file in place and re-map the buffer."""
+        path = self._spill_path
+        assert path is not None
+        old = self._buf
+        if isinstance(old, np.memmap):
+            old.flush()
+        del old
+        self._buf = np.memmap(path, dtype=np.int64, mode="r+",
+                              shape=(cap_rows, 8))
+
+    @property
+    def spill_path(self) -> Path | None:
+        """Backing spill file, when the trace has migrated to disk."""
+        return self._spill_path
+
+    def close(self) -> None:
+        """Release the backing spill file, if any."""
+        path = self._spill_path
+        if path is None:
+            return
+        self._spill_path = None
+        buf = self._buf
+        # Detach from the memmap before unlinking; keep the committed
+        # rows readable afterwards by pulling them back into memory.
+        self._buf = np.array(buf[:self._n], dtype=np.int64, copy=True)
+        del buf
+        for victim in (path, path.with_suffix(".json")):
+            try:
+                victim.unlink()
+            except OSError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Pickling (cross-process fan-out)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Drain staging and the burst queue first — the flusher holds
+        # the (unpicklable) compiled kernel and its queues are
+        # meaningless in another process. The receiving side gets a
+        # self-contained, flusher-less trace.
+        self._sync()
+        state = self.__dict__.copy()
+        state["_flusher"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    # Freeze
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Seal the trace: further appends (any path) fail loudly."""
+        self._sync()
+        self._sealed = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._sealed
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
 
     def arrays(self) -> dict[str, np.ndarray]:
-        """Return the trace as read-only numpy arrays (cached by length).
+        """Return the trace as numpy arrays (cached by length).
 
-        Producers (:class:`~repro.host.machine.HostMachine`) append to the
-        column buffers directly for speed, so the cache is keyed on trace
-        length rather than invalidated on every append.
+        Producers append through staging buffers for speed, so the cache
+        is keyed on trace length rather than invalidated on every
+        append. In-memory traces are returned with the canonical narrow
+        dtypes; spilled traces return ``int64`` memmap-backed column
+        views so reading a 100M-row trace does not materialize it.
         """
-        if self._frozen is None or self._frozen_len != len(self):
-            self._frozen_len = len(self)
-            # Copy rather than view: a numpy view would pin the array
-            # buffers and make further appends raise BufferError.
-            self._frozen = {
-                name: np.array(getattr(self, name),
-                               dtype=getattr(self, name).typecode)
-                for name in _COLUMNS
-            }
+        self._sync()
+        if self._frozen is None or self._frozen_len != self._n:
+            self._frozen_len = self._n
+            n = self._n
+            buf = self._buf
+            if self._spill_path is not None:
+                self._frozen = {name: buf[:n, j]
+                                for j, name in enumerate(_COLUMNS)}
+            else:
+                self._frozen = {
+                    name: np.ascontiguousarray(buf[:n, j], dtype=dtype)
+                    for j, (name, dtype) in
+                    enumerate(zip(_COLUMNS, _DTYPES))
+                }
         return self._frozen
 
     def column(self, name: str) -> np.ndarray:
@@ -96,10 +359,17 @@ class InstructionTrace:
         ``compressed=False`` trades disk for speed — the disk cache uses
         it because traces are written once and re-read many times, and
         deflate dominates the store cost on multi-megabyte traces.
+        Columns are always cast to the canonical dtypes, so the bytes on
+        disk are identical whether or not the trace spilled.
         """
+        arrays = self.arrays()
+        canonical = {
+            name: np.ascontiguousarray(arrays[name], dtype=dtype)
+            for name, dtype in zip(_COLUMNS, _DTYPES)
+        }
         saver = np.savez_compressed if compressed else np.savez
         with open(path, "wb") as handle:
-            saver(handle, **self.arrays())
+            saver(handle, **canonical)
 
     @classmethod
     def load(cls, path: str | Path) -> "InstructionTrace":
@@ -109,11 +379,12 @@ class InstructionTrace:
         if missing:
             raise TraceError(f"trace file missing columns: {missing}")
         trace = cls()
-        for name in _COLUMNS:
-            column = getattr(trace, name)
-            column.frombytes(
-                np.ascontiguousarray(
-                    data[name].astype(column.typecode)).tobytes())
+        count = int(data[_COLUMNS[0]].shape[0])
+        if count:
+            start = trace.alloc_rows(count)
+            buf = trace._buf
+            for j, name in enumerate(_COLUMNS):
+                buf[start:start + count, j] = data[name]
         return trace
 
     def slice_view(self, start: int, stop: int) -> dict[str, np.ndarray]:
@@ -122,4 +393,5 @@ class InstructionTrace:
             raise TraceError(
                 f"slice [{start}, {stop}) out of range for trace of "
                 f"length {len(self)}")
-        return {name: arr[start:stop] for name, arr in self.arrays().items()}
+        return {name: arr[start:stop]
+                for name, arr in self.arrays().items()}

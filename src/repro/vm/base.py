@@ -29,7 +29,9 @@ from ..errors import (
 )
 from ..frontend.bytecode import COMPARE_OPS, CodeObject, Op
 from ..frontend.compiler import Program
+from ..host.burst import FLUSH_ENTRIES as _FLUSH_ENTRIES
 from ..host.machine import HostMachine
+from .stablehash import stable_hash
 from ..objects.model import (
     FALSE,
     NONE,
@@ -83,12 +85,28 @@ _NEXT = 0
 _FRAME_PUSHED = 1
 _FRAME_RETURNED = 2
 
+#: Opcode ints for the fused burst handlers (dict lookups off the hot path).
+_OP_LOAD_FAST = int(Op.LOAD_FAST)
+_OP_STORE_FAST = int(Op.STORE_FAST)
+_OP_LOAD_CONST = int(Op.LOAD_CONST)
+_OP_LOAD_ATTR = int(Op.LOAD_ATTR)
+_OP_STORE_ATTR = int(Op.STORE_ATTR)
+_OP_FOR_ITER = int(Op.FOR_ITER)
+_OP_POP_TOP = int(Op.POP_TOP)
+_OP_JUMP_ABSOLUTE = int(Op.JUMP_ABSOLUTE)
+_OP_LOAD_METHOD = int(Op.LOAD_METHOD)
+_OP_CALL_METHOD = int(Op.CALL_METHOD)
+_OP_CALL_FUNCTION = int(Op.CALL_FUNCTION)
+_OP_LOAD_GLOBAL = int(Op.LOAD_GLOBAL)
+_OP_RETURN_VALUE = int(Op.RETURN_VALUE)
+_OP_BINARY_SUBSCR = int(Op.BINARY_SUBSCR)
+
 
 class Frame:
     """One guest call frame: locals, value stack, block stack."""
 
     __slots__ = ("code", "pc", "stack", "locals", "blocks", "addr",
-                 "return_to")
+                 "return_to", "bc_base")
 
     def __init__(self, code: CodeObject, addr: int) -> None:
         self.code = code
@@ -167,6 +185,8 @@ class BaseVM:
         self._init_sites()
         self._init_immortals()
         self._handlers = self._build_handler_table()
+        if machine.backend == "burst":
+            self._bind_burst_emitters()
         from .builtins import install_builtins
         self.builtins: dict[str, PyBuiltin] = {}
         install_builtins(self)
@@ -297,12 +317,21 @@ class BaseVM:
     # Emission helpers (hot path)
     # ------------------------------------------------------------------
 
-    def emit_dispatch(self, frame: Frame, op: int) -> None:
+    # The hot helpers are split into *emission-only* ``_rows_*`` bodies
+    # (pure trace writes, no semantic side effects) and thin public
+    # wrappers that add the semantics (stack mutation, refcounting).
+    # The scalar backend calls the rows bodies directly; the burst
+    # backend records each body into a template at its first use (see
+    # :mod:`repro.host.burst`) and thereafter enqueues a template id
+    # plus the dynamic operands instead of emitting row by row. Because
+    # both paths execute the *same* emission code — eagerly or at
+    # record time — the resulting traces are bit-identical.
+
+    def _rows_dispatch(self, op: int, bc_addr: int) -> None:
         m = self.machine
         handler = self._handler_sites[Op(op)]
         m.origin = handler
-        code_addr = self.code_addr(frame.code)
-        m.load(self.s_dispatch, _DISPATCH, code_addr + 2 * frame.pc, 2)
+        m.load(self.s_dispatch, _DISPATCH, bc_addr, 2)
         m.alu(self.s_dispatch + 8, _DISPATCH, n=2)
         # Switch dispatch: bounds check plus indirect jump via jump table.
         m.branch(self.s_dispatch + 16, _DISPATCH, taken=False)
@@ -312,32 +341,48 @@ class BaseVM:
         # instructions as program execution (Section IV-B).
         m.alu(handler, _EXEC, n=4)
 
-    def emit_push(self, frame: Frame, obj: GuestObject) -> None:
-        frame.stack.append(obj)
+    def emit_dispatch(self, frame: Frame, op: int) -> None:
+        self._rows_dispatch(
+            op, self.code_addr(frame.code) + 2 * frame.pc)
+
+    def _rows_push(self, slot_addr: int) -> None:
         m = self.machine
         m.alu(self.s_regxfer, _REG, n=1)
-        m.store(self.s_stack, _STACK, frame.stack_addr(0))
+        m.store(self.s_stack, _STACK, slot_addr)
         m.alu(self.s_stack + 8, _STACK, n=1)
 
-    def emit_pop(self, frame: Frame) -> GuestObject:
+    def emit_push(self, frame: Frame, obj: GuestObject) -> None:
+        frame.stack.append(obj)
+        self._rows_push(frame.stack_addr(0))
+
+    def _rows_pop(self, slot_addr: int) -> None:
         m = self.machine
         m.alu(self.s_regxfer, _REG, n=1)
-        m.load(self.s_stack + 16, _STACK, frame.stack_addr(0))
+        m.load(self.s_stack + 16, _STACK, slot_addr)
         m.alu(self.s_stack + 24, _STACK, n=1)
+
+    def emit_pop(self, frame: Frame) -> GuestObject:
+        self._rows_pop(frame.stack_addr(0))
         return frame.stack.pop()
 
-    def emit_peek(self, frame: Frame, depth: int = 0) -> GuestObject:
+    def _rows_peek(self, slot_addr: int) -> None:
         m = self.machine
         m.alu(self.s_regxfer, _REG, n=1)
-        m.load(self.s_stack + 32, _STACK, frame.stack_addr(depth))
+        m.load(self.s_stack + 32, _STACK, slot_addr)
+
+    def emit_peek(self, frame: Frame, depth: int = 0) -> GuestObject:
+        self._rows_peek(frame.stack_addr(depth))
         return frame.stack[-1 - depth]
 
-    def emit_typecheck(self, obj: GuestObject, n_branches: int = 1) -> None:
+    def _rows_typecheck(self, obj_addr: int, n_branches: int) -> None:
         m = self.machine
-        m.load(self.s_type, _TYPE, obj.addr)  # ob_type
+        m.load(self.s_type, _TYPE, obj_addr)  # ob_type
         m.alu(self.s_type + 8, _TYPE, n=1)
         for i in range(n_branches):
             m.branch(self.s_type + 12 + 4 * i, _TYPE, taken=(i == 0))
+
+    def emit_typecheck(self, obj: GuestObject, n_branches: int = 1) -> None:
+        self._rows_typecheck(obj.addr, n_branches)
 
     def emit_unbox(self, obj: GuestObject) -> None:
         self.machine.load(self.s_box, _BOX, obj.addr + 16)
@@ -345,35 +390,58 @@ class BaseVM:
     def emit_box_store(self, obj: GuestObject) -> None:
         self.machine.store(self.s_box + 8, _BOX, obj.addr + 16)
 
-    def emit_error_check(self, taken: bool = False) -> None:
+    def _rows_error_check(self, taken: bool) -> None:
         m = self.machine
         m.alu(self.s_err, _ERROR, n=1)
         m.branch(self.s_err + 4, _ERROR, taken=taken)
 
-    def emit_incref(self, obj: GuestObject) -> None:
-        if not self.refcounting:
-            return
+    def emit_error_check(self, taken: bool = False) -> None:
+        self._rows_error_check(taken)
+
+    def _rows_incref(self, obj_addr: int) -> None:
         m = self.machine
         # Read-modify-write on ob_refcnt (one inc-to-memory on x86).
         m.alu(self.s_gc + 8, _GC, n=1)
-        m.store(self.s_gc + 12, _GC, obj.addr)
+        m.store(self.s_gc + 12, _GC, obj_addr)
+
+    def emit_incref(self, obj: GuestObject) -> None:
+        if not self.refcounting:
+            return
+        self._rows_incref(obj.addr)
         self.retain(obj)
+
+    def _rows_decref(self, obj_addr: int) -> None:
+        m = self.machine
+        m.load(self.s_gc + 16, _GC, obj_addr)
+        m.alu(self.s_gc + 24, _GC, n=1)
+        m.store(self.s_gc + 28, _GC, obj_addr)
+        m.branch(self.s_gc + 32, _GC, taken=False)
 
     def emit_decref(self, obj: GuestObject) -> None:
         if not self.refcounting:
             return
-        m = self.machine
-        m.load(self.s_gc + 16, _GC, obj.addr)
-        m.alu(self.s_gc + 24, _GC, n=1)
-        m.store(self.s_gc + 28, _GC, obj.addr)
-        m.branch(self.s_gc + 32, _GC, taken=False)
+        self._rows_decref(obj.addr)
         self.release(obj)
 
     def emit_write_barrier(self, container: GuestObject) -> None:
         """Generational-GC write barrier; no-op under refcounting."""
 
-    def emit_execute_alu(self, n: int = 1) -> None:
+    def _rows_execute_alu(self, n: int) -> None:
         self.machine.alu(self.s_exec, _EXEC, n=n)
+
+    def emit_execute_alu(self, n: int = 1) -> None:
+        self._rows_execute_alu(n)
+
+    def _rows_dict_lookup(self, probe: int) -> None:
+        m = self.machine
+        # lookdict is reached through the dict's ma_lookup pointer.
+        with m.c_call("ceval.call_lookdict", "dictobject.lookdict",
+                      indirect=True, args=2, saves=2):
+            m.alu(self.s_dict_lookup, _UNRESOLVED, n=3)  # hash mixing
+            m.load(self.s_dict_lookup + 12, _UNRESOLVED, probe)
+            m.alu(self.s_dict_lookup + 16, _UNRESOLVED, n=1)
+            m.branch(self.s_dict_lookup + 20, _UNRESOLVED, taken=False)
+            m.load(self.s_dict_lookup + 24, _UNRESOLVED, probe + 8)
 
     def dict_lookup_emit(self, d_table_addr: int, slot_hint: int) -> None:
         """The shared ``lookdict`` helper (function-granularity site).
@@ -382,16 +450,1609 @@ class BaseVM:
         NAME_RESOLUTION or EXECUTE based on the recorded origin PC, which
         is exactly the caller-dependent case Section IV-B describes.
         """
+        self._rows_dict_lookup(d_table_addr + 24 * (slot_hint & 1023))
+
+    # ------------------------------------------------------------------
+    # Burst-backend emitters (bound as instance attributes at init)
+    # ------------------------------------------------------------------
+
+    def _bind_burst_emitters(self) -> None:
+        """Shadow the hot emit helpers with burst-queueing versions.
+
+        Only helpers the concrete VM class has *not* overridden are
+        shadowed, so a runtime model that customizes an emitter keeps
+        its behavior (and simply goes through the raw queue).
+        """
+        self._eng = self.machine._engine
+        # The engine clears its queues in place, so the array objects —
+        # and these bound methods — stay valid across flushes.
+        self._q_order = self._eng.order
+        self._q_append = self._eng.order.append
+        self._q_extend = self._eng.dyn.extend
+        self._q_dyn_append = self._eng.dyn.append
+        self._t_dispatch: list = [None] * 96
+        self._handler_site_by_op = [0] * 96
+        for op, site in self._handler_sites.items():
+            self._handler_site_by_op[int(op)] = site
+        self._t_push = self._t_pop = self._t_peek = None
+        self._t_incref = self._t_decref = None
+        self._t_dict_lookup = None
+        self._t_typecheck: dict[int, tuple | bool] = {}
+        self._t_err: dict[bool, tuple | bool] = {}
+        self._t_exec_alu: dict[int, tuple | bool] = {}
+        fused_ok = True
+        for name in ("emit_dispatch", "emit_push", "emit_pop",
+                     "emit_peek", "emit_typecheck", "emit_error_check",
+                     "emit_incref", "emit_decref", "emit_execute_alu",
+                     "dict_lookup_emit"):
+            if getattr(type(self), name) is getattr(BaseVM, name):
+                setattr(self, name, getattr(self, "_burst_" + name))
+            else:
+                fused_ok = False
+        # Fused whole-handler templates: the entire emission of a hot
+        # handler collapses to one queue entry. Only sound when every
+        # emit helper the handler's scalar body uses is the BaseVM
+        # implementation — a subclass override of any of them means the
+        # recorded rows could diverge, so the whole tier is skipped.
+        self._t_load_fast = self._t_store_fast = None
+        self._t_load_const = None
+        self._t_load_attr = self._t_store_attr = None
+        self._t_binop_prefix = self._t_int_body = None
+        self._t_for_range = self._t_for_list = None
+        self._t_pop_top = self._t_jump = None
+        self._t_load_method_attr = self._t_load_method_cls = None
+        self._t_load_global: dict[bool, tuple | bool] = {}
+        self._t_return = None
+        self._t_subscr = None
+        self._t_call_method: dict[int, tuple | bool] = {}
+        self._t_call_function: dict[int, tuple | bool] = {}
+        self._t_call_setup: dict[int, tuple | bool] = {}
+        self._t_int_full: dict[int, tuple | bool] = {}
+        self._t_cond_jump: dict[tuple, tuple | bool] = {}
+        #: Ops whose fused handler emits its own dispatch rows, so the
+        #: interpreter loop must not emit them again.
+        self._fused_dispatch = [False] * 96
+        if fused_ok:
+            cls = type(self)
+            table = self._handlers
+            # The fused handlers emit their own dispatch rows, so they
+            # are only installed together with the burst interpreter
+            # loop (which skips the separate dispatch emission for
+            # them). A runtime with its own loop — e.g. a JIT that
+            # interleaves recording hooks — keeps per-helper batching.
+            if cls.execute_frame is BaseVM.execute_frame:
+                self.execute_frame = self._burst_execute_frame
+                fused_handlers = [
+                    (Op.LOAD_FAST, "op_load_fast"),
+                    (Op.STORE_FAST, "op_store_fast"),
+                    (Op.LOAD_CONST, "op_load_const"),
+                    (Op.LOAD_ATTR, "op_load_attr"),
+                    (Op.FOR_ITER, "op_for_iter"),
+                    (Op.POP_TOP, "op_pop_top"),
+                    (Op.JUMP_ABSOLUTE, "op_jump_absolute"),
+                    (Op.LOAD_METHOD, "op_load_method"),
+                    (Op.RETURN_VALUE, "op_return_value"),
+                ]
+                if cls.lookup_global is BaseVM.lookup_global:
+                    fused_handlers.append(
+                        (Op.LOAD_GLOBAL, "op_load_global"))
+                if cls._subscr_semantics is BaseVM._subscr_semantics:
+                    fused_handlers.append(
+                        (Op.BINARY_SUBSCR, "op_binary_subscr"))
+                if cls.emit_write_barrier is BaseVM.emit_write_barrier:
+                    fused_handlers.append(
+                        (Op.STORE_ATTR, "op_store_attr"))
+                if (cls._call_object is BaseVM._call_object
+                        and cls._call_guest is BaseVM._call_guest
+                        and cls.make_frame is BaseVM.make_frame):
+                    fused_handlers.append(
+                        (Op.CALL_METHOD, "op_call_method"))
+                    fused_handlers.append(
+                        (Op.CALL_FUNCTION, "op_call_function"))
+                for op, name in fused_handlers:
+                    if getattr(cls, name) is getattr(BaseVM, name):
+                        table[int(op)] = getattr(self, "_burst_" + name)
+                        self._fused_dispatch[int(op)] = True
+                if (cls._binary_common is BaseVM._binary_common
+                        and cls._binary_semantics
+                        is BaseVM._binary_semantics
+                        and cls._int_op is BaseVM._int_op):
+                    for op_i, op_name in self._NUMERIC_OPS.items():
+                        hname = "op_binary_" + op_name
+                        if getattr(cls, hname, None) is \
+                                getattr(BaseVM, hname, None):
+                            table[op_i] = self._make_burst_binop(
+                                op_i, op_name)
+                            self._fused_dispatch[op_i] = True
+                if (cls._conditional_jump is BaseVM._conditional_jump
+                        and cls.emit_truthiness
+                        is BaseVM.emit_truthiness):
+                    for op, name, jump_if in (
+                            (Op.POP_JUMP_IF_FALSE,
+                             "op_pop_jump_if_false", False),
+                            (Op.POP_JUMP_IF_TRUE,
+                             "op_pop_jump_if_true", True)):
+                        if getattr(cls, name) is getattr(BaseVM, name):
+                            table[int(op)] = self._make_burst_cond_jump(
+                                int(op), jump_if)
+                            self._fused_dispatch[int(op)] = True
+                # Every remaining handler gets a thin wrapper that owns
+                # its dispatch emission, so the interpreter loop has no
+                # per-op fused/unfused branch at all.
+                for op_i, handler in enumerate(table):
+                    if handler is None or self._fused_dispatch[op_i]:
+                        continue
+                    table[op_i] = self._make_dispatching_handler(
+                        op_i, handler)
+                    self._fused_dispatch[op_i] = True
+            if cls._binary_common is BaseVM._binary_common:
+                self._binary_common = self._burst_binary_common
+            if cls._binary_semantics is BaseVM._binary_semantics:
+                self._binary_semantics = self._burst_binary_semantics
+
+    def _record_entry(self, thunk, dyn_base: list[int],
+                      implicit: tuple[str, ...]) -> tuple | bool:
+        """Record a template; return ``(tid, rows)`` or ``False``."""
+        tid = self._eng.record(thunk, dyn_base, implicit=implicit)
+        if tid is None:
+            return False
+        return (tid, self._eng.templates[tid].rows)
+
+    def _burst_emit_dispatch(self, frame: Frame, op: int) -> None:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        self._dispatch_entry(op, bc_base + 2 * frame.pc)
+
+    def _dispatch_entry(self, op: int, bc_addr: int) -> None:
         m = self.machine
-        # lookdict is reached through the dict's ma_lookup pointer.
-        with m.c_call("ceval.call_lookdict", "dictobject.lookdict",
+        if m.suppressed or m.clib_depth:
+            self._rows_dispatch(op, bc_addr)
+            return
+        entry = self._t_dispatch[op]
+        if entry is None:
+            entry = self._t_dispatch[op] = self._record_entry(
+                lambda v: self._rows_dispatch(op, v[0]), [bc_addr], ())
+        if entry is False:
+            self._rows_dispatch(op, bc_addr)
+            return
+        m.origin = self._handler_site_by_op[op]
+        self._q_append(entry[0])
+        self._q_dyn_append(bc_addr)
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+
+    def _make_dispatching_handler(self, op: int, handler):
+        """Wrap a scalar handler so it emits its own dispatch rows.
+
+        The burst loop calls every handler *after* incrementing the pc,
+        so the wrapper reconstructs the dispatch address from ``pc - 1``
+        — the same address the scalar loop would have emitted before
+        the increment.
+        """
+        dispatch_entry = self._dispatch_entry
+        code_addr = self.code_addr
+
+        def run(frame: Frame, arg: int) -> int:
+            try:
+                bc_base = frame.bc_base
+            except AttributeError:
+                bc_base = frame.bc_base = code_addr(frame.code)
+            dispatch_entry(op, bc_base + 2 * (frame.pc - 1))
+            return handler(frame, arg)
+
+        return run
+
+    def _burst_execute_frame(self, frame: Frame) -> None:
+        """Burst-mode interpreter loop.
+
+        Identical to :meth:`execute_frame` except that dispatch
+        emission lives inside the handlers: fused handlers start their
+        single queue entry with the dispatch rows, and every other
+        handler is wrapped by :meth:`_make_dispatching_handler`.
+        """
+        handlers = self._handlers
+        ops = frame.code.ops
+        args = frame.code.args
+        stats = self.stats
+        machine = self.machine
+        budget_mask = 0x3FF
+        # The counter lives in a local during the loop (handlers never
+        # read it; run_frames is the only driver) and is synced on every
+        # exit path, so the budget-check cadence matches the scalar loop.
+        n = stats.bytecodes
+        try:
+            while True:
+                op = ops[frame.pc]
+                arg = args[frame.pc]
+                frame.pc += 1
+                n += 1
+                if not (n & budget_mask):
+                    stats.bytecodes = n
+                    machine.check_budget()
+                signal = handlers[op](frame, arg)
+                if signal:
+                    return
+        finally:
+            stats.bytecodes = n
+
+    def _burst_emit_push(self, frame: Frame, obj: GuestObject) -> None:
+        frame.stack.append(obj)
+        m = self.machine
+        if m.suppressed:
+            return
+        slot = frame.stack_addr(0)
+        if m.clib_depth:
+            self._rows_push(slot)
+            return
+        entry = self._t_push
+        if entry is None:
+            entry = self._t_push = self._record_entry(
+                lambda v: self._rows_push(v[0]), [slot], ("origin",))
+        if entry is False:
+            self._rows_push(slot)
+            return
+        self._q_append(entry[0])
+        self._q_extend((slot, m.origin))
+
+    def _burst_emit_pop(self, frame: Frame) -> GuestObject:
+        m = self.machine
+        if m.suppressed:
+            return frame.stack.pop()
+        slot = frame.stack_addr(0)
+        entry = self._t_pop
+        if m.clib_depth or entry is False:
+            self._rows_pop(slot)
+            return frame.stack.pop()
+        if entry is None:
+            entry = self._t_pop = self._record_entry(
+                lambda v: self._rows_pop(v[0]), [slot], ("origin",))
+            if entry is False:
+                self._rows_pop(slot)
+                return frame.stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((slot, m.origin))
+        return frame.stack.pop()
+
+    def _burst_emit_peek(self, frame: Frame,
+                         depth: int = 0) -> GuestObject:
+        m = self.machine
+        if m.suppressed:
+            return frame.stack[-1 - depth]
+        slot = frame.stack_addr(depth)
+        entry = self._t_peek
+        if m.clib_depth or entry is False:
+            self._rows_peek(slot)
+            return frame.stack[-1 - depth]
+        if entry is None:
+            entry = self._t_peek = self._record_entry(
+                lambda v: self._rows_peek(v[0]), [slot], ("origin",))
+            if entry is False:
+                self._rows_peek(slot)
+                return frame.stack[-1 - depth]
+        self._q_append(entry[0])
+        self._q_extend((slot, m.origin))
+        return frame.stack[-1 - depth]
+
+    def _burst_emit_typecheck(self, obj: GuestObject,
+                              n_branches: int = 1) -> None:
+        m = self.machine
+        if m.suppressed:
+            return
+        if m.clib_depth:
+            self._rows_typecheck(obj.addr, n_branches)
+            return
+        entry = self._t_typecheck.get(n_branches)
+        if entry is None:
+            entry = self._t_typecheck[n_branches] = self._record_entry(
+                lambda v: self._rows_typecheck(v[0], n_branches),
+                [obj.addr], ("origin",))
+        if entry is False:
+            self._rows_typecheck(obj.addr, n_branches)
+            return
+        self._q_append(entry[0])
+        self._q_extend((obj.addr, m.origin))
+
+    def _burst_emit_error_check(self, taken: bool = False) -> None:
+        m = self.machine
+        if m.suppressed:
+            return
+        if m.clib_depth:
+            self._rows_error_check(taken)
+            return
+        entry = self._t_err.get(taken)
+        if entry is None:
+            entry = self._t_err[taken] = self._record_entry(
+                lambda v: self._rows_error_check(taken), [], ("origin",))
+        if entry is False:
+            self._rows_error_check(taken)
+            return
+        self._q_append(entry[0])
+        self._q_dyn_append(m.origin)
+
+    def _burst_emit_incref(self, obj: GuestObject) -> None:
+        if not self.refcounting:
+            return
+        m = self.machine
+        if m.suppressed:
+            self.retain(obj)
+            return
+        if m.clib_depth:
+            self._rows_incref(obj.addr)
+            self.retain(obj)
+            return
+        entry = self._t_incref
+        if entry is None:
+            entry = self._t_incref = self._record_entry(
+                lambda v: self._rows_incref(v[0]), [obj.addr],
+                ("origin",))
+        if entry is False:
+            self._rows_incref(obj.addr)
+            self.retain(obj)
+            return
+        self._q_append(entry[0])
+        self._q_extend((obj.addr, m.origin))
+        self.retain(obj)
+
+    def _burst_emit_decref(self, obj: GuestObject) -> None:
+        if not self.refcounting:
+            return
+        m = self.machine
+        if m.suppressed:
+            self.release(obj)
+            return
+        if m.clib_depth:
+            self._rows_decref(obj.addr)
+            self.release(obj)
+            return
+        entry = self._t_decref
+        if entry is None:
+            entry = self._t_decref = self._record_entry(
+                lambda v: self._rows_decref(v[0]), [obj.addr],
+                ("origin",))
+        if entry is False:
+            self._rows_decref(obj.addr)
+            self.release(obj)
+            return
+        self._q_append(entry[0])
+        self._q_extend((obj.addr, m.origin))
+        # The decref rows precede any dealloc cascade, exactly as in the
+        # scalar path: cascade emissions enqueue behind this entry.
+        self.release(obj)
+
+    def _burst_emit_execute_alu(self, n: int = 1) -> None:
+        m = self.machine
+        if m.suppressed:
+            return
+        if m.clib_depth:
+            self._rows_execute_alu(n)
+            return
+        entry = self._t_exec_alu.get(n)
+        if entry is None:
+            entry = self._t_exec_alu[n] = self._record_entry(
+                lambda v: self._rows_execute_alu(n), [], ("origin",))
+        if entry is False:
+            self._rows_execute_alu(n)
+            return
+        self._q_append(entry[0])
+        self._q_dyn_append(m.origin)
+
+    def _burst_dict_lookup_emit(self, d_table_addr: int,
+                                slot_hint: int) -> None:
+        m = self.machine
+        if m.suppressed:
+            return  # the scalar path's sp dip nets to zero rows/state
+        probe = d_table_addr + 24 * (slot_hint & 1023)
+        if m.clib_depth:
+            self._rows_dict_lookup(probe)
+            return
+        entry = self._t_dict_lookup
+        if entry is None:
+            entry = self._t_dict_lookup = self._record_entry(
+                lambda v: self._rows_dict_lookup(v[0]), [probe],
+                ("origin", "sp"))
+        if entry is False:
+            self._rows_dict_lookup(probe)
+            return
+        self._q_append(entry[0])
+        self._q_extend((probe, m.origin, m.sp))
+
+    # ------------------------------------------------------------------
+    # Fused whole-handler templates (burst backend)
+    # ------------------------------------------------------------------
+
+    # Each ``_rows_op_*`` body replays the *entire* emission of a hot
+    # handler's common path, stitched from the same ``_rows_*`` pieces
+    # the scalar handler uses — so the recorded template is bit-identical
+    # to the scalar row stream. The ``_burst_op_*`` handler performs the
+    # semantics, decides whether the common path applies (anything
+    # unusual delegates to the scalar handler body, whose emit helpers
+    # are burst-bound and therefore still queue correctly), and enqueues
+    # a single entry. Trailing ``emit_decref`` calls stay *outside* the
+    # fused template: a decref can trigger a dealloc cascade whose rows
+    # must land after the decref rows, which only the dedicated wrapper
+    # ordering guarantees.
+
+    def _rows_op_load_fast(self, bc_addr: int, local_addr: int,
+                           obj_addr: int, slot_addr: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_LOAD_FAST, bc_addr)
+        m.alu(self.s_regxfer + 8, _REG, n=1)
+        m.load(self.s_stack + 56, _STACK, local_addr)
+        self._rows_error_check(False)
+        if self.refcounting:
+            self._rows_incref(obj_addr)
+        self._rows_push(slot_addr)
+
+    def _burst_op_load_fast(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        obj = frame.locals[arg]
+        m = self.machine
+        if obj is None or m.suppressed or m.clib_depth:
+            self._dispatch_entry(_OP_LOAD_FAST, bc_addr)
+            return BaseVM.op_load_fast(self, frame, arg)
+        stack = frame.stack
+        idx = len(stack)
+        base_addr = frame.addr + _FRAME_HEADER
+        entry = self._t_load_fast
+        if entry is None:
+            entry = self._t_load_fast = self._record_entry(
+                lambda v: self._rows_op_load_fast(v[0], v[1], v[2], v[3]),
+                [bc_addr,
+                 base_addr + 8 * _FRAME_STACK_SLOTS + 8 * arg, obj.addr,
+                 base_addr + 8 * (idx % _FRAME_STACK_SLOTS)], ())
+        if entry is False:
+            self._dispatch_entry(_OP_LOAD_FAST, bc_addr)
+            return BaseVM.op_load_fast(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_LOAD_FAST]
+        stack.append(obj)
+        self._q_append(entry[0])
+        self._q_extend((
+            bc_addr,
+            base_addr + 8 * _FRAME_STACK_SLOTS + 8 * arg,
+            obj.addr,
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+        ))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        if self.refcounting:
+            self.retain(obj)
+        return _NEXT
+
+    def _rows_op_store_fast(self, bc_addr: int, pop_slot: int,
+                            local_addr: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_STORE_FAST, bc_addr)
+        self._rows_pop(pop_slot)
+        m.alu(self.s_regxfer + 12, _REG, n=1)
+        m.store(self.s_stack + 60, _STACK, local_addr)
+
+    def _burst_op_store_fast(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        if m.suppressed or m.clib_depth or not stack:
+            self._dispatch_entry(_OP_STORE_FAST, bc_addr)
+            return BaseVM.op_store_fast(self, frame, arg)
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        entry = self._t_store_fast
+        if entry is None:
+            entry = self._t_store_fast = self._record_entry(
+                lambda v: self._rows_op_store_fast(v[0], v[1], v[2]),
+                [bc_addr, base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+                 base_addr + 8 * _FRAME_STACK_SLOTS + 8 * arg], ())
+        if entry is False:
+            self._dispatch_entry(_OP_STORE_FAST, bc_addr)
+            return BaseVM.op_store_fast(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_STORE_FAST]
+        obj = stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((
+            bc_addr,
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+            base_addr + 8 * _FRAME_STACK_SLOTS + 8 * arg,
+        ))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        old = frame.locals[arg]
+        frame.locals[arg] = obj
+        if old is not None:
+            self.emit_decref(old)
+        return _NEXT
+
+    def _rows_op_load_const(self, bc_addr: int, const_addr: int,
+                            obj_addr: int, slot_addr: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_LOAD_CONST, bc_addr)
+        m.alu(self.s_regxfer + 4, _REG, n=1)
+        m.load(self.s_const, _CONST, const_addr)
+        if self.refcounting:
+            self._rows_incref(obj_addr)
+        self._rows_push(slot_addr)
+
+    def _burst_op_load_const(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        if m.suppressed or m.clib_depth:
+            self._dispatch_entry(_OP_LOAD_CONST, bc_addr)
+            return BaseVM.op_load_const(self, frame, arg)
+        obj = self._const_objects[id(frame.code)][arg]
+        stack = frame.stack
+        idx = len(stack)
+        base_addr = frame.addr + _FRAME_HEADER
+        entry = self._t_load_const
+        if entry is None:
+            entry = self._t_load_const = self._record_entry(
+                lambda v: self._rows_op_load_const(v[0], v[1], v[2],
+                                                   v[3]),
+                [bc_addr, bc_base + 64 + 8 * arg, obj.addr,
+                 base_addr + 8 * (idx % _FRAME_STACK_SLOTS)], ())
+        if entry is False:
+            self._dispatch_entry(_OP_LOAD_CONST, bc_addr)
+            return BaseVM.op_load_const(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_LOAD_CONST]
+        stack.append(obj)
+        self._q_append(entry[0])
+        self._q_extend((
+            bc_addr,
+            bc_base + 64 + 8 * arg,
+            obj.addr,
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+        ))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        if self.refcounting:
+            self.retain(obj)
+        return _NEXT
+
+    def _rows_op_load_attr(self, bc_addr: int, pop_slot: int,
+                           obj_addr: int, probe: int,
+                           attr_addr: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_LOAD_ATTR, bc_addr)
+        self._rows_pop(pop_slot)
+        self._rows_typecheck(obj_addr, 1)
+        m.alu(self.s_name + 32, _NAME, n=2)
+        self._rows_dict_lookup(probe)
+        if self.refcounting:
+            self._rows_incref(attr_addr)
+
+    def _burst_op_load_attr(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        obj = stack[-1] if stack else None
+        name = frame.code.names[arg]
+        if (m.suppressed or m.clib_depth
+                or not isinstance(obj, PyInstance)
+                or name not in obj.attrs):
+            self._dispatch_entry(_OP_LOAD_ATTR, bc_addr)
+            return BaseVM.op_load_attr(self, frame, arg)
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        probe = obj.addr + 16 + 24 * (stable_hash(name) & 1023)
+        attr = obj.attrs[name]
+        entry = self._t_load_attr
+        if entry is None:
+            entry = self._t_load_attr = self._record_entry(
+                lambda v: self._rows_op_load_attr(v[0], v[1], v[2], v[3],
+                                                  v[4]),
+                [bc_addr, base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+                 obj.addr, probe, attr.addr], ("sp",))
+        if entry is False:
+            self._dispatch_entry(_OP_LOAD_ATTR, bc_addr)
+            return BaseVM.op_load_attr(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_LOAD_ATTR]
+        stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((
+            bc_addr,
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+            obj.addr,
+            probe,
+            attr.addr,
+            m.sp,
+        ))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        if self.refcounting:
+            self.retain(attr)
+        self.emit_decref(obj)
+        self.emit_push(frame, attr)
+        return _NEXT
+
+    def _rows_op_store_attr(self, bc_addr: int, pop_obj_slot: int,
+                            pop_val_slot: int, obj_addr: int, probe: int,
+                            store_addr: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_STORE_ATTR, bc_addr)
+        self._rows_pop(pop_obj_slot)
+        self._rows_pop(pop_val_slot)
+        self._rows_typecheck(obj_addr, 1)
+        m.alu(self.s_name + 40, _NAME, n=2)
+        self._rows_dict_lookup(probe)
+        m.store(self.s_name + 44, _NAME, store_addr)
+
+    def _burst_op_store_attr(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        obj = stack[-1] if stack else None
+        if (m.suppressed or m.clib_depth or len(stack) < 2
+                or not isinstance(obj, PyInstance)):
+            self._dispatch_entry(_OP_STORE_ATTR, bc_addr)
+            return BaseVM.op_store_attr(self, frame, arg)
+        name = frame.code.names[arg]
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        name_hash = stable_hash(name)
+        probe = obj.addr + 16 + 24 * (name_hash & 1023)
+        store_addr = obj.addr + 16 + (name_hash & 63)
+        entry = self._t_store_attr
+        if entry is None:
+            entry = self._t_store_attr = self._record_entry(
+                lambda v: self._rows_op_store_attr(v[0], v[1], v[2],
+                                                   v[3], v[4], v[5]),
+                [bc_addr, base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+                 base_addr + 8 * ((idx - 1) % _FRAME_STACK_SLOTS),
+                 obj.addr, probe, store_addr], ("sp",))
+        if entry is False:
+            self._dispatch_entry(_OP_STORE_ATTR, bc_addr)
+            return BaseVM.op_store_attr(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_STORE_ATTR]
+        stack.pop()
+        value = stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((
+            bc_addr,
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+            base_addr + 8 * ((idx - 1) % _FRAME_STACK_SLOTS),
+            obj.addr,
+            probe,
+            store_addr,
+            m.sp,
+        ))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        old = obj.attrs.get(name)
+        obj.attrs[name] = value
+        if old is not None:
+            self.emit_decref(old)
+        self.emit_decref(obj)
+        return _NEXT
+
+    def _rows_binop_prefix(self, pop_r_slot: int, pop_l_slot: int,
+                           left_addr: int, right_addr: int) -> None:
+        m = self.machine
+        self._rows_pop(pop_r_slot)
+        self._rows_pop(pop_l_slot)
+        self._rows_typecheck(left_addr, 1)
+        self._rows_typecheck(right_addr, 1)
+        m.load(self.s_funcres, _FUNC_RES, left_addr)
+        m.load(self.s_funcres + 8, _FUNC_RES,
+               self.machine.space.vm_data.base + 0x2000)
+        m.alu(self.s_funcres + 12, _FUNC_RES, n=1)
+
+    def _burst_binary_common(self, frame: Frame, op_name: str) -> int:
+        m = self.machine
+        stack = frame.stack
+        if m.suppressed or m.clib_depth or len(stack) < 2:
+            return BaseVM._binary_common(self, frame, op_name)
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        entry = self._t_binop_prefix
+        if entry is None:
+            entry = self._t_binop_prefix = self._record_entry(
+                lambda v: self._rows_binop_prefix(v[0], v[1], v[2], v[3]),
+                [base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+                 base_addr + 8 * ((idx - 1) % _FRAME_STACK_SLOTS),
+                 stack[-2].addr, stack[-1].addr], ("origin",))
+        if entry is False:
+            return BaseVM._binary_common(self, frame, op_name)
+        right = stack.pop()
+        left = stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+            base_addr + 8 * ((idx - 1) % _FRAME_STACK_SLOTS),
+            left.addr,
+            right.addr,
+            m.origin,
+        ))
+        result = None
+        with m.c_call(f"ceval.call_binop_{op_name}",
+                      f"abstract.binary_{op_name}", indirect=True,
+                      args=2, saves=2):
+            result = self._binary_semantics(left, right, op_name)
+        self.emit_decref(left)
+        self.emit_decref(right)
+        self.emit_push(frame, result)
+        return _NEXT
+
+    def _rows_int_binop(self, left_addr: int, right_addr: int) -> None:
+        m = self.machine
+        m.load(self.s_box, _BOX, left_addr + 16)
+        m.load(self.s_box, _BOX, right_addr + 16)
+        self._rows_error_check(False)
+        m.alu(self.s_box + 16, _BOX, n=1)
+
+    def _burst_binary_semantics(self, left: GuestObject,
+                                right: GuestObject,
+                                op_name: str) -> GuestObject:
+        m = self.machine
+        if (not m.suppressed and not m.clib_depth
+                and isinstance(left, (PyInt, PyBool))
+                and isinstance(right, (PyInt, PyBool))):
+            lv = int(left.value)
+            rv = int(right.value)
+            # Paths that raise, return floats, or shift by huge amounts
+            # must emit through the scalar body (its rows precede the
+            # exception / allocation).
+            if not (op_name == "truediv"
+                    or (rv < 0 and op_name in ("lshift", "rshift", "pow"))
+                    or (rv == 0 and op_name in ("floordiv", "mod"))):
+                value = self._int_op(op_name, lv, rv)
+                if (type(value) is int
+                        and SMALL_INT_MIN <= value <= SMALL_INT_MAX):
+                    entry = self._t_int_body
+                    if entry is None:
+                        entry = self._t_int_body = self._record_entry(
+                            lambda v: self._rows_int_binop(v[0], v[1]),
+                            [left.addr, right.addr], ("origin",))
+                    if entry is not False:
+                        self._q_append(entry[0])
+                        self._q_extend((left.addr, right.addr, m.origin))
+                        return self._small_ints[value]
+        return BaseVM._binary_semantics(self, left, right, op_name)
+
+    def _rows_for_iter_range(self, bc_addr: int, peek_slot: int,
+                             iter_addr: int, push_slot: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_FOR_ITER, bc_addr)
+        self._rows_peek(peek_slot)
+        m.load(self.s_funcres + 20, _FUNC_RES, iter_addr)
+        with m.c_call("ceval.call_iternext", "object.iternext",
+                      indirect=True, args=1, saves=1):
+            m.alu(self.s_box + 16, _BOX, n=1)  # make_int (small cache)
+            m.load(self.s_exec + 52, _EXEC, iter_addr + 16)
+            m.alu(self.s_exec + 56, _EXEC, n=1)
+        m.branch(self.s_rich + 60, _RICH, taken=False)
+        self._rows_push(push_slot)
+
+    def _rows_for_iter_list(self, bc_addr: int, peek_slot: int,
+                            iter_addr: int, item_addr: int,
+                            push_slot: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_FOR_ITER, bc_addr)
+        self._rows_peek(peek_slot)
+        m.load(self.s_funcres + 20, _FUNC_RES, iter_addr)
+        with m.c_call("ceval.call_iternext", "object.iternext",
+                      indirect=True, args=1, saves=1):
+            if self.refcounting:
+                self._rows_incref(item_addr)
+            m.load(self.s_exec + 52, _EXEC, iter_addr + 16)
+            m.alu(self.s_exec + 56, _EXEC, n=1)
+        m.branch(self.s_rich + 60, _RICH, taken=False)
+        self._rows_push(push_slot)
+
+    def _burst_op_for_iter(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        iterator = stack[-1] if stack else None
+        if m.suppressed or m.clib_depth \
+                or not isinstance(iterator, PyIterator):
+            self._dispatch_entry(_OP_FOR_ITER, bc_addr)
+            return BaseVM.op_for_iter(self, frame, arg)
+        kind = iterator.kind
+        source = iterator.source
+        index = iterator.index
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        peek_slot = base_addr + 8 * (idx % _FRAME_STACK_SLOTS)
+        push_slot = base_addr + 8 * ((idx + 1) % _FRAME_STACK_SLOTS)
+        if kind == "range":
+            value = source.start + index * source.step
+            in_range = (value < source.stop if source.step > 0
+                        else value > source.stop)
+            if not in_range or not (
+                    SMALL_INT_MIN <= value <= SMALL_INT_MAX):
+                self._dispatch_entry(_OP_FOR_ITER, bc_addr)
+                return BaseVM.op_for_iter(self, frame, arg)
+            entry = self._t_for_range
+            if entry is None:
+                entry = self._t_for_range = self._record_entry(
+                    lambda v: self._rows_for_iter_range(v[0], v[1], v[2],
+                                                        v[3]),
+                    [bc_addr, peek_slot, iterator.addr, push_slot],
+                    ("sp",))
+            if entry is False:
+                self._dispatch_entry(_OP_FOR_ITER, bc_addr)
+                return BaseVM.op_for_iter(self, frame, arg)
+            m.origin = self._handler_site_by_op[_OP_FOR_ITER]
+            iterator.index = index + 1
+            obj = self._small_ints[value]
+            stack.append(obj)
+            self._q_append(entry[0])
+            self._q_extend((bc_addr, peek_slot, iterator.addr, push_slot, m.sp))
+            if len(self._q_order) >= _FLUSH_ENTRIES:
+                self._eng.flush()
+            return _NEXT
+        if kind in ("list", "tuple"):
+            items = source.items
+            if index >= len(items):
+                self._dispatch_entry(_OP_FOR_ITER, bc_addr)
+                return BaseVM.op_for_iter(self, frame, arg)
+            entry = self._t_for_list
+            item = items[index]
+            if entry is None:
+                entry = self._t_for_list = self._record_entry(
+                    lambda v: self._rows_for_iter_list(v[0], v[1], v[2],
+                                                       v[3], v[4]),
+                    [bc_addr, peek_slot, iterator.addr, item.addr,
+                     push_slot], ("sp",))
+            if entry is False:
+                self._dispatch_entry(_OP_FOR_ITER, bc_addr)
+                return BaseVM.op_for_iter(self, frame, arg)
+            m.origin = self._handler_site_by_op[_OP_FOR_ITER]
+            iterator.index = index + 1
+            if self.refcounting:
+                self.retain(item)
+            stack.append(item)
+            self._q_append(entry[0])
+            self._q_extend((
+                bc_addr,
+                peek_slot,
+                iterator.addr,
+                item.addr,
+                push_slot,
+                m.sp,
+            ))
+            if len(self._q_order) >= _FLUSH_ENTRIES:
+                self._eng.flush()
+            return _NEXT
+        self._dispatch_entry(_OP_FOR_ITER, bc_addr)
+        return BaseVM.op_for_iter(self, frame, arg)
+
+    def _rows_op_pop_top(self, bc_addr: int, pop_slot: int,
+                         obj_addr: int) -> None:
+        self._rows_dispatch(_OP_POP_TOP, bc_addr)
+        self._rows_pop(pop_slot)
+        if self.refcounting:
+            self._rows_decref(obj_addr)
+
+    def _burst_op_pop_top(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        if m.suppressed or m.clib_depth or not stack:
+            self._dispatch_entry(_OP_POP_TOP, bc_addr)
+            return BaseVM.op_pop_top(self, frame, arg)
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        obj = stack[-1]
+        entry = self._t_pop_top
+        if entry is None:
+            entry = self._t_pop_top = self._record_entry(
+                lambda v: self._rows_op_pop_top(v[0], v[1], v[2]),
+                [bc_addr, base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+                 obj.addr], ())
+        if entry is False:
+            self._dispatch_entry(_OP_POP_TOP, bc_addr)
+            return BaseVM.op_pop_top(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_POP_TOP]
+        stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((
+            bc_addr,
+            base_addr + 8 * (idx % _FRAME_STACK_SLOTS),
+            obj.addr,
+        ))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        if self.refcounting:
+            # The decref rows are already queued; a zero refcount now
+            # cascades through ``_dealloc``, whose rows land after them
+            # — the same order the scalar path produces.
+            self.release(obj)
+        return _NEXT
+
+    def _rows_int_binop_full(self, op: int, op_name: str,
+                             values: list) -> None:
+        """Whole int-op body: dispatch, operand pops, the inlined
+        ``abstract.binary_*`` C call, operand decrefs, result push.
+
+        ``values`` is ``[bc_addr, pop_r_slot, pop_l_slot, left_addr,
+        right_addr, push_slot]``.
+        """
+        m = self.machine
+        self._rows_dispatch(op, values[0])
+        self._rows_binop_prefix(values[1], values[2],
+                                values[3], values[4])
+        with m.c_call(f"ceval.call_binop_{op_name}",
+                      f"abstract.binary_{op_name}", indirect=True,
+                      args=2, saves=2):
+            self._rows_int_binop(values[3], values[4])
+        if self.refcounting:
+            self._rows_decref(values[3])
+            self._rows_decref(values[4])
+        self._rows_push(values[5])
+
+    def _make_burst_binop(self, op: int, op_name: str):
+        """A fused handler for one numeric bytecode.
+
+        The fast path covers small-int arithmetic where neither operand
+        decref can trigger a dealloc cascade (so the whole row sequence
+        is a single template); everything else falls back to the
+        prefix-batched :meth:`_burst_binary_common` path.
+        """
+        excluded_neg = op_name in ("lshift", "rshift", "pow")
+        excluded_zero = op_name in ("floordiv", "mod")
+        truediv = op_name == "truediv"
+
+        def run(frame: Frame, arg: int) -> int:
+            try:
+                bc_base = frame.bc_base
+            except AttributeError:
+                bc_base = frame.bc_base = self.code_addr(frame.code)
+            bc_addr = bc_base + 2 * (frame.pc - 1)
+            m = self.machine
+            stack = frame.stack
+            left = stack[-2] if len(stack) > 1 else None
+            right = stack[-1] if stack else None
+            if (m.suppressed or m.clib_depth or truediv
+                    or not isinstance(left, (PyInt, PyBool))
+                    or not isinstance(right, (PyInt, PyBool))):
+                self._dispatch_entry(op, bc_addr)
+                return self._binary_common(frame, op_name)
+            lv = int(left.value)
+            rv = int(right.value)
+            if ((rv < 0 and excluded_neg) or (rv == 0 and excluded_zero)
+                    or (self.refcounting and (left.refcount == 1
+                                              or right.refcount == 1))):
+                self._dispatch_entry(op, bc_addr)
+                return self._binary_common(frame, op_name)
+            value = self._int_op(op_name, lv, rv)
+            if not (type(value) is int
+                    and SMALL_INT_MIN <= value <= SMALL_INT_MAX):
+                self._dispatch_entry(op, bc_addr)
+                return self._binary_common(frame, op_name)
+            idx = len(stack) - 1
+            base_addr = frame.addr + _FRAME_HEADER
+            pop_r = base_addr + 8 * (idx % _FRAME_STACK_SLOTS)
+            pop_l = base_addr + 8 * ((idx - 1) % _FRAME_STACK_SLOTS)
+            entry = self._t_int_full.get(op)
+            if entry is None:
+                entry = self._t_int_full[op] = self._record_entry(
+                    lambda v: self._rows_int_binop_full(op, op_name, v),
+                    [bc_addr, pop_r, pop_l, left.addr, right.addr,
+                     pop_l], ("sp",))
+            if entry is False:
+                self._dispatch_entry(op, bc_addr)
+                return self._binary_common(frame, op_name)
+            m.origin = self._handler_site_by_op[op]
+            stack.pop()
+            stack.pop()
+            self._q_append(entry[0])
+            self._q_extend((bc_addr, pop_r, pop_l, left.addr,
+                            right.addr, pop_l, m.sp))
+            if len(self._q_order) >= _FLUSH_ENTRIES:
+                self._eng.flush()
+            if self.refcounting:
+                self.release(left)
+                self.release(right)
+            stack.append(self._small_ints[value])
+            return _NEXT
+
+        return run
+
+    def _rows_cond_jump(self, op: int, taken: bool,
+                        values: list) -> None:
+        """Dispatch + pop + PyObject_IsTrue + decref + branch.
+
+        ``values`` is ``[bc_addr, pop_slot, obj_addr]``.
+        """
+        m = self.machine
+        self._rows_dispatch(op, values[0])
+        self._rows_pop(values[1])
+        self._rows_typecheck(values[2], 2)
+        m.load(self.s_rich, _RICH, values[2] + 16)
+        m.alu(self.s_rich + 8, _RICH, n=1)
+        if self.refcounting:
+            self._rows_decref(values[2])
+        m.branch(self.s_rich + 16, _RICH, taken=taken)
+
+    def _make_burst_cond_jump(self, op: int, jump_if: bool):
+        """Fused handler for POP_JUMP_IF_FALSE / POP_JUMP_IF_TRUE."""
+
+        def run(frame: Frame, arg: int) -> int:
+            try:
+                bc_base = frame.bc_base
+            except AttributeError:
+                bc_base = frame.bc_base = self.code_addr(frame.code)
+            bc_addr = bc_base + 2 * (frame.pc - 1)
+            m = self.machine
+            stack = frame.stack
+            obj = stack[-1] if stack else None
+            if (m.suppressed or m.clib_depth or obj is None
+                    or (self.refcounting and obj.refcount == 1)):
+                self._dispatch_entry(op, bc_addr)
+                return self._conditional_jump(frame, arg, jump_if)
+            taken = obj.is_truthy() == jump_if
+            entry = self._t_cond_jump.get((op, taken))
+            idx = len(stack) - 1
+            base_addr = frame.addr + _FRAME_HEADER
+            pop_slot = base_addr + 8 * (idx % _FRAME_STACK_SLOTS)
+            if entry is None:
+                entry = self._t_cond_jump[(op, taken)] = \
+                    self._record_entry(
+                        lambda v, t=taken: self._rows_cond_jump(
+                            op, t, v),
+                        [bc_addr, pop_slot, obj.addr], ())
+            if entry is False:
+                self._dispatch_entry(op, bc_addr)
+                return self._conditional_jump(frame, arg, jump_if)
+            m.origin = self._handler_site_by_op[op]
+            stack.pop()
+            self._q_append(entry[0])
+            self._q_extend((bc_addr, pop_slot, obj.addr))
+            if len(self._q_order) >= _FLUSH_ENTRIES:
+                self._eng.flush()
+            if self.refcounting:
+                self.release(obj)
+            if taken:
+                if arg < frame.pc:
+                    self.on_backedge(frame, arg)
+                frame.pc = arg
+            return _NEXT
+
+        return run
+
+    def _rows_op_load_method_cls(self, bc_addr: int, pop_slot: int,
+                                 obj_addr: int, obj_probe: int,
+                                 cls_probe: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_LOAD_METHOD, bc_addr)
+        self._rows_pop(pop_slot)
+        self._rows_typecheck(obj_addr, 2)
+        m.alu(self.s_name + 24, _NAME, n=2)
+        self._rows_dict_lookup(obj_probe)
+        m.branch(self.s_name + 28, _NAME, taken=True)
+        self._rows_dict_lookup(cls_probe)
+
+    def _rows_op_load_method_attr(self, bc_addr: int, pop_slot: int,
+                                  obj_addr: int, obj_probe: int,
+                                  attr_addr: int) -> None:
+        m = self.machine
+        self._rows_dispatch(_OP_LOAD_METHOD, bc_addr)
+        self._rows_pop(pop_slot)
+        self._rows_typecheck(obj_addr, 2)
+        m.alu(self.s_name + 24, _NAME, n=2)
+        self._rows_dict_lookup(obj_probe)
+        if self.refcounting:
+            self._rows_incref(attr_addr)
+
+    def _burst_op_load_method(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        obj = stack[-1] if stack else None
+        if (m.suppressed or m.clib_depth
+                or not isinstance(obj, PyInstance)):
+            self._dispatch_entry(_OP_LOAD_METHOD, bc_addr)
+            return BaseVM.op_load_method(self, frame, arg)
+        name = frame.code.names[arg]
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        pop_slot = base_addr + 8 * (idx % _FRAME_STACK_SLOTS)
+        name_hash = stable_hash(name)
+        obj_probe = obj.addr + 16 + 24 * (name_hash & 1023)
+        attr = obj.attrs.get(name)
+        if attr is not None:
+            entry = self._t_load_method_attr
+            if entry is None:
+                entry = self._t_load_method_attr = self._record_entry(
+                    lambda v: self._rows_op_load_method_attr(
+                        v[0], v[1], v[2], v[3], v[4]),
+                    [bc_addr, pop_slot, obj.addr, obj_probe, attr.addr],
+                    ("sp",))
+            if entry is False:
+                self._dispatch_entry(_OP_LOAD_METHOD, bc_addr)
+                return BaseVM.op_load_method(self, frame, arg)
+            m.origin = self._handler_site_by_op[_OP_LOAD_METHOD]
+            stack.pop()
+            self._q_append(entry[0])
+            self._q_extend((
+                bc_addr,
+                pop_slot,
+                obj.addr,
+                obj_probe,
+                attr.addr,
+                m.sp,
+            ))
+            if len(self._q_order) >= _FLUSH_ENTRIES:
+                self._eng.flush()
+            if self.refcounting:
+                self.retain(attr)
+            self.emit_push(frame, attr)
+            self.emit_decref(obj)
+            return _NEXT
+        func = obj.cls.methods.get(name)
+        if func is None:
+            self._dispatch_entry(_OP_LOAD_METHOD, bc_addr)
+            return BaseVM.op_load_method(self, frame, arg)
+        cls_probe = obj.cls.addr + 16 + 24 * (name_hash & 1023)
+        entry = self._t_load_method_cls
+        if entry is None:
+            entry = self._t_load_method_cls = self._record_entry(
+                lambda v: self._rows_op_load_method_cls(
+                    v[0], v[1], v[2], v[3], v[4]),
+                [bc_addr, pop_slot, obj.addr, obj_probe, cls_probe],
+                ("sp",))
+        if entry is False:
+            self._dispatch_entry(_OP_LOAD_METHOD, bc_addr)
+            return BaseVM.op_load_method(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_LOAD_METHOD]
+        stack.pop()
+        self._q_append(entry[0])
+        self._q_extend((bc_addr, pop_slot, obj.addr, obj_probe, cls_probe, m.sp))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        method = PyBoundMethod(obj, func)
+        self.alloc_object(method)
+        self.emit_push(frame, method)
+        return _NEXT
+
+    def _rows_op_load_global(self, miss: bool, values: list) -> None:
+        """Uncached LOAD_GLOBAL: name fetch, lookdict probe(s), push.
+
+        ``values`` is ``[bc_addr, name_cell, globals_probe,
+        (builtins_probe,) obj_addr, push_slot]`` — the builtins probe is
+        present only on the globals-miss shape.
+        """
+        m = self.machine
+        self._rows_dispatch(_OP_LOAD_GLOBAL, values[0])
+        m.alu(self.s_name, _NAME, n=4)
+        m.load(self.s_name + 16, _NAME, values[1])
+        self._rows_dict_lookup(values[2])
+        if miss:
+            m.branch(self.s_name + 8, _NAME, taken=True)
+            self._rows_dict_lookup(values[3])
+        if self.refcounting:
+            self._rows_incref(values[-2])
+        self._rows_push(values[-1])
+
+    def _burst_op_load_global(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        if m.suppressed or m.clib_depth or self.global_cache_enabled:
+            self._dispatch_entry(_OP_LOAD_GLOBAL, bc_addr)
+            return BaseVM.op_load_global(self, frame, arg)
+        name = frame.code.names[arg]
+        obj = self.globals.get(name)
+        miss = obj is None
+        if miss:
+            obj = self.builtins.get(name)
+            if obj is None:  # NameError path stays scalar
+                self._dispatch_entry(_OP_LOAD_GLOBAL, bc_addr)
+                return BaseVM.op_load_global(self, frame, arg)
+        name_hash = stable_hash(name)
+        base = m.space.vm_data.base
+        name_cell = base + 0x900 + (name_hash & 0xFF8)
+        table = base + 0x1000
+        probe = table + 24 * (name_hash & 1023)
+        push_slot = frame.addr + _FRAME_HEADER \
+            + 8 * (len(frame.stack) % _FRAME_STACK_SLOTS)
+        if miss:
+            values = [bc_addr, name_cell, probe,
+                      table + 0x8000 + 24 * (name_hash & 1023),
+                      obj.addr, push_slot]
+        else:
+            values = [bc_addr, name_cell, probe, obj.addr, push_slot]
+        entry = self._t_load_global.get(miss)
+        if entry is None:
+            entry = self._t_load_global[miss] = self._record_entry(
+                lambda v: self._rows_op_load_global(miss, v),
+                values, ("sp",))
+        if entry is False:
+            self._dispatch_entry(_OP_LOAD_GLOBAL, bc_addr)
+            return BaseVM.op_load_global(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_LOAD_GLOBAL]
+        self._q_append(entry[0])
+        self._q_extend(values)
+        self._q_dyn_append(m.sp)
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        if self.refcounting:
+            self.retain(obj)
+        frame.stack.append(obj)
+        return _NEXT
+
+    def _rows_op_return(self, bc_addr: int, pop_slot: int) -> None:
+        self._rows_dispatch(_OP_RETURN_VALUE, bc_addr)
+        self._rows_pop(pop_slot)
+
+    def _burst_op_return_value(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        if m.suppressed or m.clib_depth or not stack:
+            self._dispatch_entry(_OP_RETURN_VALUE, bc_addr)
+            return BaseVM.op_return_value(self, frame, arg)
+        idx = len(stack) - 1
+        pop_slot = frame.addr + _FRAME_HEADER \
+            + 8 * (idx % _FRAME_STACK_SLOTS)
+        entry = self._t_return
+        if entry is None:
+            entry = self._t_return = self._record_entry(
+                lambda v: self._rows_op_return(v[0], v[1]),
+                [bc_addr, pop_slot], ())
+        if entry is False:
+            self._dispatch_entry(_OP_RETURN_VALUE, bc_addr)
+            return BaseVM.op_return_value(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_RETURN_VALUE]
+        self._q_append(entry[0])
+        self._q_extend((bc_addr, pop_slot))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        result = stack.pop()
+        # Teardown matches the scalar handler from the pop onward.
+        for obj in frame.locals:
+            if obj is not None:
+                self.emit_decref(obj)
+        for obj in stack:
+            self.emit_decref(obj)
+        stack.clear()
+        m.alu(self.s_funcsetup + 20, _FUNC_SETUP, n=3)
+        self.free_frame(frame)
+        self.frames.pop()
+        if not self.frames:
+            self._module_result = result
+            return _FRAME_RETURNED
+        caller = self.frames[-1]
+        discard_return, push_value = self._return_plans.pop()
+        if discard_return:
+            self.emit_decref(result)
+            if push_value is not None:
+                self.emit_push(caller, push_value)
+        else:
+            self.emit_push(caller, result)
+        self.gc_poll()
+        return _FRAME_RETURNED
+
+    def _rows_op_subscr(self, values: list) -> None:
+        """Sequence int-index BINARY_SUBSCR: pops, getitem call, push.
+
+        ``values`` is ``[bc_addr, index_slot, container_slot,
+        container_addr, index_addr, elem_addr, result_addr,
+        push_slot]``.
+        """
+        m = self.machine
+        self._rows_dispatch(_OP_BINARY_SUBSCR, values[0])
+        self._rows_pop(values[1])
+        self._rows_pop(values[2])
+        self._rows_typecheck(values[3], 1)
+        with m.c_call("ceval.call_getitem", "abstract.getitem",
                       indirect=True, args=2, saves=2):
-            m.alu(self.s_dict_lookup, _UNRESOLVED, n=3)  # hash mixing
-            probe = d_table_addr + 24 * (slot_hint & 1023)
-            m.load(self.s_dict_lookup + 12, _UNRESOLVED, probe)
-            m.alu(self.s_dict_lookup + 16, _UNRESOLVED, n=1)
-            m.branch(self.s_dict_lookup + 20, _UNRESOLVED, taken=False)
-            m.load(self.s_dict_lookup + 24, _UNRESOLVED, probe + 8)
+            m.load(self.s_box, _BOX, values[4] + 16)  # unbox the index
+            self._rows_error_check(False)
+            m.load(self.s_exec + 64, _EXEC, values[5])
+        if self.refcounting:
+            self._rows_incref(values[6])
+            self._rows_decref(values[3])
+            self._rows_decref(values[4])
+        self._rows_push(values[7])
+
+    def _burst_op_binary_subscr(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        if m.suppressed or m.clib_depth or len(stack) < 2:
+            self._dispatch_entry(_OP_BINARY_SUBSCR, bc_addr)
+            return BaseVM.op_binary_subscr(self, frame, arg)
+        index = stack[-1]
+        container = stack[-2]
+        if (not isinstance(container, (PyList, PyTuple))
+                or not isinstance(index, (PyInt, PyBool))):
+            self._dispatch_entry(_OP_BINARY_SUBSCR, bc_addr)
+            return BaseVM.op_binary_subscr(self, frame, arg)
+        items = container.items
+        i = int(index.value)
+        if i < 0:
+            i += len(items)
+        if not 0 <= i < len(items):  # IndexError path stays scalar
+            self._dispatch_entry(_OP_BINARY_SUBSCR, bc_addr)
+            return BaseVM.op_binary_subscr(self, frame, arg)
+        if self.refcounting and (container.refcount == 1
+                                 or index.refcount == 1):
+            # A dealloc cascade must interleave mid-sequence; only the
+            # scalar path preserves that ordering.
+            self._dispatch_entry(_OP_BINARY_SUBSCR, bc_addr)
+            return BaseVM.op_binary_subscr(self, frame, arg)
+        result = items[i]
+        elem_base = (container.buffer_addr
+                     if isinstance(container, PyList)
+                     else container.addr + 24)
+        idx = len(stack) - 1
+        base_addr = frame.addr + _FRAME_HEADER
+        pop_idx = base_addr + 8 * (idx % _FRAME_STACK_SLOTS)
+        pop_cont = base_addr + 8 * ((idx - 1) % _FRAME_STACK_SLOTS)
+        values = [bc_addr, pop_idx, pop_cont, container.addr,
+                  index.addr, elem_base + 8 * i, result.addr, pop_cont]
+        entry = self._t_subscr
+        if entry is None:
+            entry = self._t_subscr = self._record_entry(
+                lambda v: self._rows_op_subscr(v), values, ("sp",))
+        if entry is False:
+            self._dispatch_entry(_OP_BINARY_SUBSCR, bc_addr)
+            return BaseVM.op_binary_subscr(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_BINARY_SUBSCR]
+        self._q_append(entry[0])
+        self._q_extend(values)
+        self._q_dyn_append(m.sp)
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        stack.pop()
+        stack.pop()
+        if self.refcounting:
+            self.retain(result)
+            self.release(container)
+            self.release(index)
+        stack.append(result)
+        return _NEXT
+
+    def _rows_call_prologue(self, op: int, n_pops: int, alu_off: int,
+                            n_branches: int, incref: bool,
+                            values: list) -> None:
+        """Dispatch + operand pops + callee typecheck for a call op.
+
+        ``values`` is ``[bc_addr, slot_0..slot_{n_pops-1}, callee_addr,
+        instance_addr]`` (the instance slot is present but unused when
+        ``incref`` is false).
+        """
+        m = self.machine
+        self._rows_dispatch(op, values[0])
+        for j in range(1, n_pops + 1):
+            self._rows_pop(values[j])
+        m.alu(self.s_funcsetup + alu_off, _FUNC_SETUP, n=2)
+        self._rows_typecheck(values[n_pops + 1], n_branches)
+        if incref and self.refcounting:
+            self._rows_incref(values[n_pops + 2])
+
+    def _rows_call_setup(self, frame_addr: int, argcount: int) -> None:
+        """Argument copies into callee locals plus the frame-link ALU."""
+        m = self.machine
+        local0 = frame_addr + _FRAME_HEADER + 8 * _FRAME_STACK_SLOTS
+        for i in range(argcount):
+            m.store(self.s_funcsetup + 12, _FUNC_SETUP, local0 + 8 * i)
+        m.alu(self.s_funcsetup + 16, _FUNC_SETUP, n=3)
+
+    def _call_setup_entry(self, argcount: int, sample_addr: int):
+        entry = self._t_call_setup.get(argcount)
+        if entry is None:
+            entry = self._t_call_setup[argcount] = self._record_entry(
+                lambda v, k=argcount: self._rows_call_setup(v[0], k),
+                [sample_addr], ("origin",))
+        return entry
+
+    def _burst_op_call_method(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        top = len(stack)
+        callee = stack[top - 1 - arg] if top > arg else None
+        if (m.suppressed or m.clib_depth
+                or not isinstance(callee, PyBoundMethod)):
+            self._dispatch_entry(_OP_CALL_METHOD, bc_addr)
+            return BaseVM.op_call_method(self, frame, arg)
+        code = callee.func.code
+        if code.argcount != arg + 1:
+            self._dispatch_entry(_OP_CALL_METHOD, bc_addr)
+            return BaseVM.op_call_method(self, frame, arg)
+        base_addr = frame.addr + _FRAME_HEADER
+        slots = [base_addr + 8 * ((top - 1 - i) % _FRAME_STACK_SLOTS)
+                 for i in range(arg + 1)]
+        entry = self._t_call_method.get(arg)
+        if entry is None:
+            entry = self._t_call_method[arg] = self._record_entry(
+                lambda v, n=arg + 1: self._rows_call_prologue(
+                    _OP_CALL_METHOD, n, 24, 1, True, v),
+                [bc_addr] + slots + [callee.addr, callee.instance.addr],
+                ())
+        entry2 = self._call_setup_entry(arg + 1, frame.addr)
+        if entry is False or entry2 is False:
+            self._dispatch_entry(_OP_CALL_METHOD, bc_addr)
+            return BaseVM.op_call_method(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_CALL_METHOD]
+        self._q_append(entry[0])
+        self._q_dyn_append(bc_addr)
+        self._q_extend(slots)
+        self._q_extend((callee.addr, callee.instance.addr))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        args = stack[top - arg:]
+        del stack[top - arg - 1:]
+        if self.refcounting:
+            self.retain(callee.instance)
+        self.stats.guest_calls += 1
+        callee_frame = self.make_frame(code)
+        locals_ = callee_frame.locals
+        locals_[0] = callee.instance
+        for i, arg_obj in enumerate(args):
+            locals_[i + 1] = arg_obj
+        self._q_append(entry2[0])
+        self._q_extend((callee_frame.addr, m.origin))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        callee_frame.return_to = len(stack)
+        self._return_plans.append((False, None))
+        self.frames.append(callee_frame)
+        self.emit_decref(callee)
+        return _FRAME_PUSHED
+
+    def _burst_op_call_function(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        stack = frame.stack
+        top = len(stack)
+        callee = stack[top - 1 - arg] if top > arg else None
+        if m.suppressed or m.clib_depth:
+            self._dispatch_entry(_OP_CALL_FUNCTION, bc_addr)
+            return BaseVM.op_call_function(self, frame, arg)
+        if isinstance(callee, PyFunc):
+            init = None
+            code = callee.code
+            if code.argcount != arg:
+                self._dispatch_entry(_OP_CALL_FUNCTION, bc_addr)
+                return BaseVM.op_call_function(self, frame, arg)
+        elif isinstance(callee, PyClass):
+            # Constructor: the prologue rows are identical to the plain
+            # function-call shape; allocation, refcount traffic and the
+            # callee frame go through the already-templated helpers.
+            init = callee.methods.get("__init__")
+            if init is None or not isinstance(init, PyFunc) \
+                    or init.code.argcount != arg + 1:
+                self._dispatch_entry(_OP_CALL_FUNCTION, bc_addr)
+                return BaseVM.op_call_function(self, frame, arg)
+            code = init.code
+        else:
+            self._dispatch_entry(_OP_CALL_FUNCTION, bc_addr)
+            return BaseVM.op_call_function(self, frame, arg)
+        base_addr = frame.addr + _FRAME_HEADER
+        slots = [base_addr + 8 * ((top - 1 - i) % _FRAME_STACK_SLOTS)
+                 for i in range(arg + 1)]
+        entry = self._t_call_function.get(arg)
+        if entry is None:
+            entry = self._t_call_function[arg] = self._record_entry(
+                lambda v, n=arg + 1: self._rows_call_prologue(
+                    _OP_CALL_FUNCTION, n, 0, 2, False, v),
+                [bc_addr] + slots + [callee.addr, 0], ())
+        entry2 = self._call_setup_entry(code.argcount, frame.addr)
+        if entry is False or entry2 is False:
+            self._dispatch_entry(_OP_CALL_FUNCTION, bc_addr)
+            return BaseVM.op_call_function(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_CALL_FUNCTION]
+        self._q_append(entry[0])
+        self._q_dyn_append(bc_addr)
+        self._q_extend(slots)
+        self._q_extend((callee.addr, 0))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        args = stack[top - arg:]
+        del stack[top - arg - 1:]
+        if init is not None:
+            instance = PyInstance(callee)
+            self.alloc_object(instance)
+            self.emit_decref(callee)
+            self.emit_incref(instance)
+            self.stats.guest_calls += 1
+            callee_frame = self.make_frame(code)
+            locals_ = callee_frame.locals
+            locals_[0] = instance
+            for i, arg_obj in enumerate(args):
+                locals_[i + 1] = arg_obj
+        else:
+            instance = None
+            self.stats.guest_calls += 1
+            callee_frame = self.make_frame(code)
+            locals_ = callee_frame.locals
+            for i, arg_obj in enumerate(args):
+                locals_[i] = arg_obj
+        self._q_append(entry2[0])
+        self._q_extend((callee_frame.addr, m.origin))
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        callee_frame.return_to = len(stack)
+        self._return_plans.append(
+            (True, instance) if init is not None else (False, None))
+        self.frames.append(callee_frame)
+        return _FRAME_PUSHED
+
+    def _rows_op_jump(self, bc_addr: int) -> None:
+        self._rows_dispatch(_OP_JUMP_ABSOLUTE, bc_addr)
+        self.machine.branch(self.s_rich + 12, _DISPATCH, taken=True,
+                            conditional=False)
+
+    def _burst_op_jump_absolute(self, frame: Frame, arg: int) -> int:
+        try:
+            bc_base = frame.bc_base
+        except AttributeError:
+            bc_base = frame.bc_base = self.code_addr(frame.code)
+        bc_addr = bc_base + 2 * (frame.pc - 1)
+        m = self.machine
+        if m.suppressed or m.clib_depth:
+            self._dispatch_entry(_OP_JUMP_ABSOLUTE, bc_addr)
+            return BaseVM.op_jump_absolute(self, frame, arg)
+        entry = self._t_jump
+        if entry is None:
+            entry = self._t_jump = self._record_entry(
+                lambda v: self._rows_op_jump(v[0]), [bc_addr], ())
+        if entry is False:
+            self._dispatch_entry(_OP_JUMP_ABSOLUTE, bc_addr)
+            return BaseVM.op_jump_absolute(self, frame, arg)
+        m.origin = self._handler_site_by_op[_OP_JUMP_ABSOLUTE]
+        self._q_append(entry[0])
+        self._q_dyn_append(bc_addr)
+        if len(self._q_order) >= _FLUSH_ENTRIES:
+            self._eng.flush()
+        if arg < frame.pc:
+            self.on_backedge(frame, arg)
+        frame.pc = arg
+        return _NEXT
 
     # ------------------------------------------------------------------
     # Boxing
@@ -475,6 +2136,7 @@ class BaseVM:
 
     def make_frame(self, code: CodeObject) -> Frame:
         frame = Frame(code, 0)
+        frame.bc_base = self.code_addr(code)
         frame.addr = self.alloc_frame(frame)
         return frame
 
@@ -614,10 +2276,10 @@ class BaseVM:
             # optimization Chandra et al. propose and the paper cites as
             # the fix for name-resolution overhead.
             m.load(self.s_name + 24, _NAME,
-                   m.space.vm_data.base + 0x800 + (hash(name) & 0xF8))
+                   m.space.vm_data.base + 0x800 + (stable_hash(name) & 0xF8))
             m.branch(self.s_name + 28, _NAME, taken=False)
             m.load(self.s_name + 32, _NAME,
-                   m.space.vm_data.base + 0x840 + (hash(name) & 0xF8))
+                   m.space.vm_data.base + 0x840 + (stable_hash(name) & 0xF8))
             obj = self.globals.get(name)
             if obj is None:
                 obj = self.builtins.get(name)
@@ -628,15 +2290,15 @@ class BaseVM:
         m.alu(self.s_name, _NAME, n=4)
         m.load(self.s_name + 16, _NAME,
                self.machine.space.vm_data.base + 0x900
-               + (hash(name) & 0xFF8))
+               + (stable_hash(name) & 0xFF8))
         table = self.machine.space.vm_data.base + 0x1000
-        self.dict_lookup_emit(table, hash(name))
+        self.dict_lookup_emit(table, stable_hash(name))
         obj = self.globals.get(name)
         if obj is not None:
             return obj
         # Miss in globals: second lookup in builtins.
         m.branch(self.s_name + 8, _NAME, taken=True)
-        self.dict_lookup_emit(table + 0x8000, hash(name))
+        self.dict_lookup_emit(table + 0x8000, stable_hash(name))
         obj = self.builtins.get(name)
         if obj is None:
             raise GuestNameError(f"name {name!r} is not defined")
@@ -648,8 +2310,8 @@ class BaseVM:
         m = self.machine
         m.alu(self.s_name + 12, _NAME, n=2)
         table = self.machine.space.vm_data.base + 0x1000
-        self.dict_lookup_emit(table, hash(name))
-        m.store(self.s_name + 20, _NAME, table + 24 * (hash(name) & 1023))
+        self.dict_lookup_emit(table, stable_hash(name))
+        m.store(self.s_name + 20, _NAME, table + 24 * (stable_hash(name) & 1023))
         old = self.globals.get(name)
         self.globals[name] = obj
         if old is not None:
@@ -949,7 +2611,7 @@ class BaseVM:
         if isinstance(container, PyDict):
             m.origin = m.site("ceval.handler.COMPARE_OP.contains")
             self.dict_lookup_emit(container.table_addr,
-                                  hash(str(raw_key(item))))
+                                  stable_hash(str(raw_key(item))))
             return raw_key(item) in container.entries
         if isinstance(container, (PyList, PyTuple)):
             key = self._comparable_value(item)
@@ -1289,7 +2951,7 @@ class BaseVM:
             # Instance attribute, then class dict, via lookdict.
             m.origin = m.site("ceval.handler.LOAD_METHOD")
             m.alu(self.s_name + 24, _NAME, n=2)
-            self.dict_lookup_emit(obj.addr + 16, hash(name))
+            self.dict_lookup_emit(obj.addr + 16, stable_hash(name))
             attr = obj.attrs.get(name)
             if attr is not None:
                 self.emit_incref(attr)
@@ -1297,7 +2959,7 @@ class BaseVM:
                 self.emit_decref(obj)
                 return _NEXT
             m.branch(self.s_name + 28, _NAME, taken=True)
-            self.dict_lookup_emit(obj.cls.addr + 16, hash(name))
+            self.dict_lookup_emit(obj.cls.addr + 16, stable_hash(name))
             func = obj.cls.methods.get(name)
             if func is None:
                 raise GuestNameError(
@@ -1316,7 +2978,7 @@ class BaseVM:
                 f"{obj.type_name!r} object has no attribute {name!r}")
         m.origin = m.site("ceval.handler.LOAD_METHOD")
         self.dict_lookup_emit(
-            self.machine.space.vm_data.base + 0x3000, hash(name))
+            self.machine.space.vm_data.base + 0x3000, stable_hash(name))
         # Container/str methods inline into compiled traces; module
         # functions are external C library entry points and never do.
         bound = PyBuiltin(f"{obj.type_name}.{name}",
@@ -1373,9 +3035,9 @@ class BaseVM:
         m.origin = m.site("ceval.handler.STORE_SUBSCR.dict")
         self.emit_write_barrier(d)
         raw = raw_key(key)
-        self.dict_lookup_emit(d.table_addr, hash(str(raw)) & 0x7FFFFFFF)
+        self.dict_lookup_emit(d.table_addr, stable_hash(str(raw)) & 0x7FFFFFFF)
         m.store(self.s_exec + 60, _EXEC,
-                d.table_addr + 24 * (hash(str(raw)) & 1023))
+                d.table_addr + 24 * (stable_hash(str(raw)) & 1023))
         old = d.entries.get(raw)
         d.entries[raw] = (key, value)
         if old is not None:
@@ -1402,7 +3064,7 @@ class BaseVM:
         m = self.machine
         m.origin = m.site("ceval.handler.BINARY_SUBSCR.dict")
         raw = raw_key(key)
-        self.dict_lookup_emit(d.table_addr, hash(str(raw)) & 0x7FFFFFFF)
+        self.dict_lookup_emit(d.table_addr, stable_hash(str(raw)) & 0x7FFFFFFF)
         entry = d.entries.get(raw)
         return entry[1] if entry is not None else None
 
@@ -1572,11 +3234,11 @@ class BaseVM:
                 f"{obj.type_name!r} object has no attribute {name!r}")
         m.origin = m.site("ceval.handler.LOAD_ATTR")
         m.alu(self.s_name + 32, _NAME, n=2)
-        self.dict_lookup_emit(obj.addr + 16, hash(name))
+        self.dict_lookup_emit(obj.addr + 16, stable_hash(name))
         attr = obj.attrs.get(name)
         if attr is None:
             m.branch(self.s_name + 36, _NAME, taken=True)
-            self.dict_lookup_emit(obj.cls.addr + 16, hash(name))
+            self.dict_lookup_emit(obj.cls.addr + 16, stable_hash(name))
             func = obj.cls.methods.get(name)
             if func is None:
                 raise GuestNameError(
@@ -1602,8 +3264,8 @@ class BaseVM:
         m.origin = m.site("ceval.handler.STORE_ATTR")
         self.emit_write_barrier(obj)
         m.alu(self.s_name + 40, _NAME, n=2)
-        self.dict_lookup_emit(obj.addr + 16, hash(name))
-        m.store(self.s_name + 44, _NAME, obj.addr + 16 + (hash(name) & 63))
+        self.dict_lookup_emit(obj.addr + 16, stable_hash(name))
+        m.store(self.s_name + 44, _NAME, obj.addr + 16 + (stable_hash(name) & 63))
         old = obj.attrs.get(name)
         obj.attrs[name] = value
         if old is not None:

@@ -1,0 +1,29 @@
+"""Deterministic string hashing for the run-time models.
+
+The VMs derive simulated addresses (dict probe slots, global/builtin
+table offsets, inline-cache slots) from name hashes. Python's built-in
+``hash(str)`` is randomized per interpreter invocation unless
+``PYTHONHASHSEED`` is pinned, which made guest traces — and therefore
+cycle counts and disk-cache contents — drift between CLI invocations.
+Every modeled hash goes through :func:`stable_hash` instead: FNV-1a over
+the UTF-8 encoding, a fixed function of the name alone, so traces are
+byte-identical across fresh interpreter processes (the ROADMAP's
+distributed-fabric prerequisite).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+@lru_cache(maxsize=8192)
+def stable_hash(text: str) -> int:
+    """64-bit FNV-1a hash of ``text`` — stable across processes."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK
+    return value

@@ -28,6 +28,7 @@ from ...host.machine import HostMachine
 from ...objects.model import PyBoundMethod, PyInstance
 from ...telemetry import TELEMETRY
 from ..base import _NEXT, Frame  # type: ignore[attr-defined]
+from ..stablehash import stable_hash
 from ..pypy.interp import PyPyVM
 
 _NAME = int(OverheadCategory.NAME_RESOLUTION)
@@ -71,7 +72,7 @@ class V8VM(PyPyVM):
         m = self.machine
         m.origin = m.site("ceval.handler.LOAD_GLOBAL")
         m.load(self.s_ic + 12, _NAME,
-               m.space.vm_data.base + 0x1000 + (hash(name) & 0x3FF8))
+               m.space.vm_data.base + 0x1000 + (stable_hash(name) & 0x3FF8))
         m.branch(self.s_ic + 16, _NAME, taken=False)
         obj = self.globals.get(name)
         if obj is not None:
