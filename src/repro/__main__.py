@@ -6,8 +6,11 @@ run        execute a MiniPy file on a modeled runtime, print its output
 breakdown  Table II overhead breakdown for a MiniPy file
 workloads  list the built-in benchmark suites
 figure     regenerate one of the paper's tables/figures
-figures    regenerate many figures with checkpoint/resume (``--all``)
-cache      disk-cache maintenance (``gc``, ``stats``)
+figures    regenerate many figures with checkpoint/resume (``--all``);
+           ``--distributed`` coordinates a lease-based work queue
+work       claim and execute queue cells published by a distributed
+           campaign (any number of peers, any host sharing the cache)
+cache      disk-cache maintenance (``gc``, ``stats``, ``verify``)
 telemetry  dump the last run's telemetry manifest
 status     one-shot (or ``--watch``) campaign progress view
 perf       perf-regression sentinel (``check``, ``diff``)
@@ -59,7 +62,7 @@ _MB = 1024 * 1024
 #: Subcommands that run guest code: telemetry is enabled around them
 #: and a manifest is written when they finish.
 _TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure", "figures",
-                                 "perf"})
+                                 "work", "perf"})
 
 #: Conventional exit status for SIGINT (128 + 2).
 EXIT_INTERRUPTED = 130
@@ -182,14 +185,48 @@ def cmd_figures(args) -> int:
     report = run_campaign(
         names=args.names or None, quick=not args.full, jobs=args.jobs,
         checkpoint=args.checkpoint, fresh=args.fresh,
-        budget_seconds=args.budget_seconds)
+        budget_seconds=args.budget_seconds,
+        distributed=args.distributed, queue_dir=args.queue,
+        grace_seconds=args.grace_seconds)
     rows = report.summary_rows()
     total = sum(report.wall_seconds.values())
-    rows.append(["TOTAL", f"{len(report.completed)} run, "
-                 f"{len(report.skipped)} checkpointed", f"{total:.1f}s"])
+    summary = (f"{len(report.completed)} run, "
+               f"{len(report.skipped)} checkpointed")
+    if report.failed:
+        summary += f", {len(report.failed)} failed"
+    rows.append(["TOTAL", summary, f"{total:.1f}s"])
     print(_render(["figure", "status", "wall clock"], rows,
                   title="figure campaign summary"))
     print(f"checkpoint journal: {report.checkpoint}", file=sys.stderr)
+    if report.queue_dir:
+        print(f"queue directory: {report.queue_dir}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
+def cmd_work(args) -> int:
+    from .experiments.queue import work_loop
+    root = None
+    campaign = args.campaign
+    if args.queue:
+        queue_dir = args.queue
+        if os.path.isfile(os.path.join(queue_dir, "manifest.json")):
+            # A campaign directory was named directly.
+            root = os.path.dirname(os.path.abspath(queue_dir)) or "."
+            campaign = os.path.basename(os.path.abspath(queue_dir))
+        else:
+            root = queue_dir
+    report = work_loop(
+        root=root, campaign=campaign, worker_id=args.worker_id,
+        ttl=args.ttl, max_cells=args.max_cells,
+        idle_exit_seconds=args.idle_exit)
+    print(f"-- worker {report.worker_id}: {report.completed} cells "
+          f"completed over {len(report.campaigns)} campaign(s)"
+          + (f" (exit: {report.reason})" if report.reason else ""))
+    args._manifest_stats = {
+        "completed": report.completed,
+        "claims": report.claims,
+        "campaigns": len(report.campaigns),
+    }
     return 0
 
 
@@ -216,12 +253,38 @@ def cmd_cache(args) -> int:
         if pruned:
             print(f"pruned {pruned} registry records "
                   f"(keeping newest {args.max_registry_records})")
+        if stats["queue_campaigns_removed"] \
+                or stats["queue_leases_reclaimed"] \
+                or stats["queue_heartbeats_removed"]:
+            print(f"queue: removed "
+                  f"{stats['queue_campaigns_removed']} dead campaigns, "
+                  f"reclaimed {stats['queue_leases_reclaimed']} expired "
+                  f"leases, swept {stats['queue_heartbeats_removed']} "
+                  "orphaned heartbeats")
         return 0
+    if args.action == "verify":
+        stats = cache.verify_entries(sample=args.sample)
+        print(f"verified {stats['checked']} entries: {stats['ok']} ok "
+              f"({stats['unkeyed']} without recorded key params), "
+              f"{stats['checksum_mismatches']} checksum mismatches, "
+              f"{stats['key_mismatches']} key mismatches"
+              + (f"; {stats['skipped']} entries not sampled"
+                 if stats["skipped"] else ""))
+        bad = stats["checksum_mismatches"] + stats["key_mismatches"]
+        if bad:
+            print(f"{bad} corrupt entries quarantined under "
+                  f"{cache.root}/quarantine", file=sys.stderr)
+        return 1 if bad else 0
     usage = cache.usage()
     rows = [[kind,
              str(usage.get(kind, {}).get("entries", 0)),
              f"{usage.get(kind, {}).get('bytes', 0) / 1e6:.1f} MB"]
             for kind in ("traces", "states", "spill", "telemetry")]
+    queue = usage.get("queue", {})
+    rows.append(["queue",
+                 f"{queue.get('campaigns', 0)} campaigns / "
+                 f"{queue.get('cells', 0)} cells",
+                 f"{queue.get('bytes', 0) / 1e6:.1f} MB"])
     rows.append(["quarantined files", str(usage["quarantined_files"]),
                  ""])
     print(render_table(["kind", "entries", "size"], rows,
@@ -338,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-seconds", type=float, default=None,
                    help="per-figure wall-clock budget; exceeding it is "
                         "flagged, not fatal")
+    p.add_argument("--distributed", action="store_true",
+                   help="coordinate a lease-based work queue under "
+                        "<cache-root>/queue; peers run `repro work`")
+    p.add_argument("--queue", metavar="DIR", default=None,
+                   help="--distributed: explicit campaign queue "
+                        "directory (default: derived from the figure "
+                        "set under <cache-root>/queue)")
+    p.add_argument("--grace-seconds", type=float, default=None,
+                   help="--distributed: degrade to in-process fan-out "
+                        "after this long without a live worker "
+                        "(default: $REPRO_QUEUE_GRACE or 20)")
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the telemetry manifest (JSON) here")
     p.add_argument("--trace-out", metavar="PATH",
@@ -346,9 +420,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser(
+        "work",
+        help="execute queue cells for distributed campaigns")
+    p.add_argument("--queue", metavar="DIR", default=None,
+                   help="queue root, or one campaign directory "
+                        "(default: <cache-root>/queue)")
+    p.add_argument("--campaign", metavar="ID", default=None,
+                   help="serve only this campaign id")
+    p.add_argument("--worker-id", metavar="NAME", default=None,
+                   help="stable worker name (default: host-pid)")
+    p.add_argument("--ttl", type=float, default=None,
+                   help="lease/heartbeat TTL seconds "
+                        "(default: $REPRO_QUEUE_TTL or 30)")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="exit after completing this many cells")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   help="exit after this long with nothing claimable "
+                        "(default: run until interrupted)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the telemetry manifest (JSON) here")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the unified Chrome trace-event "
+                        "JSON here")
+    p.set_defaults(func=cmd_work)
+
+    p = sub.add_parser(
         "cache",
-        help="disk-cache maintenance: size-bounded gc, usage stats")
-    p.add_argument("action", choices=("gc", "stats"))
+        help="disk-cache maintenance: size-bounded gc, usage stats, "
+             "cross-host key/content verification")
+    p.add_argument("action", choices=("gc", "stats", "verify"))
     p.add_argument("--max-mb", type=float, default=2048.0,
                    help="gc: keep at most this many megabytes "
                         "(default: 2048)")
@@ -358,6 +458,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-registry-records", type=int, default=4096,
                    help="gc: keep at most this many run-registry "
                         "records (default: 4096)")
+    p.add_argument("--sample", type=int, default=None,
+                   help="verify: audit a deterministic sample of at "
+                        "most N entries (default: all)")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(

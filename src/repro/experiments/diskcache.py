@@ -319,6 +319,7 @@ class DiskCache:
         if meta is None:
             return None
         meta.pop("npz_sha256", None)
+        meta.pop("key_params", None)
         try:
             trace = InstructionTrace.load(npz_path)
             meta["site_table"] = {name: int(pc) for name, pc
@@ -332,7 +333,8 @@ class DiskCache:
         self._touch("traces", key)
         return handle
 
-    def store_run(self, key: str, handle) -> None:
+    def store_run(self, key: str, handle,
+                  key_params: dict | None = None) -> None:
         if not self.enabled:
             return
         npz_path, meta_path = self._paths("traces", key)
@@ -355,6 +357,11 @@ class DiskCache:
             "wall_seconds": handle.wall_seconds,
             "host_instructions": handle.host_instructions,
         }
+        if key_params is not None:
+            # Recorded so ``repro cache verify`` can recompute the key
+            # from first principles and assert key/content agreement
+            # across the hosts sharing this cache.
+            meta["key_params"] = key_params
         try:
             npz_path.parent.mkdir(parents=True, exist_ok=True)
             _atomic_write(
@@ -397,7 +404,8 @@ class DiskCache:
         self._touch("states", key)
         return state
 
-    def store_state(self, key: str, state: MemorySideState) -> None:
+    def store_state(self, key: str, state: MemorySideState,
+                    key_params: dict | None = None) -> None:
         if not self.enabled:
             return
         npz_path, meta_path = self._paths("states", key)
@@ -407,6 +415,8 @@ class DiskCache:
                             for name, stats in state.cache_stats.items()},
             "branch_stats": dataclasses.asdict(state.branch_stats),
         }
+        if key_params is not None:
+            meta["key_params"] = key_params
 
         def writer(tmp: Path) -> None:
             with open(tmp, "wb") as handle:
@@ -545,6 +555,71 @@ class DiskCache:
                 entries.append((mtime, size, kind, stem))
         return entries
 
+    def verify_entries(self, sample: int | None = None) -> dict:
+        """Cross-host determinism audit: re-derive keys and checksums.
+
+        For each committed entry (or a deterministic every-N-th sample
+        of them), recompute the payload SHA-256 against the sidecar's
+        ``npz_sha256``, and — for entries whose sidecar recorded its
+        ``key_params`` — recompute :func:`content_key` from those
+        parameters and assert it matches the file name. A cache shared
+        over NFS by several hosts passes only when every host derives
+        identical keys for identical content, which is exactly the
+        FNV-1a stable-hashing guarantee this audit gates.
+
+        Corrupt entries found along the way are quarantined (same
+        contract as a load). Returns ``{"checked", "ok",
+        "checksum_mismatches", "key_mismatches", "unkeyed",
+        "skipped"}`` — ``unkeyed`` counts healthy entries from before
+        sidecars carried ``key_params``; ``key_mismatches`` counts
+        genuine disagreements, which are quarantined too.
+        """
+        stats = {"checked": 0, "ok": 0, "checksum_mismatches": 0,
+                 "key_mismatches": 0, "unkeyed": 0, "skipped": 0}
+        if not self.enabled:
+            return stats
+        entries = sorted((kind, key) for _, _, kind, key
+                         in self._entries())
+        if sample is not None and sample > 0 \
+                and len(entries) > sample:
+            stride = len(entries) / sample
+            picked = [entries[int(i * stride)] for i in range(sample)]
+            stats["skipped"] = len(entries) - len(picked)
+            entries = picked
+        for kind, key in entries:
+            stats["checked"] += 1
+            npz_path, meta_path = self._paths(kind, key)
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+                actual = file_sha256(npz_path)
+            except (OSError, ValueError, UnicodeDecodeError):
+                stats["checksum_mismatches"] += 1
+                self.quarantine(kind, key)
+                continue
+            if not isinstance(meta, dict) \
+                    or meta.get("npz_sha256") != actual:
+                stats["checksum_mismatches"] += 1
+                TELEMETRY.metrics.counter("cache.checksum_mismatch",
+                                          kind=kind).inc()
+                self.quarantine(kind, key)
+                continue
+            key_params = meta.get("key_params")
+            if not isinstance(key_params, dict):
+                stats["unkeyed"] += 1
+                stats["ok"] += 1
+                continue
+            if content_key(key_params) != key:
+                stats["key_mismatches"] += 1
+                TELEMETRY.metrics.counter("cache.key_mismatch",
+                                          kind=kind).inc()
+                self.quarantine(kind, key)
+                continue
+            stats["ok"] += 1
+        TELEMETRY.metrics.counter("cache.verified").inc(
+            stats["checked"])
+        return stats
+
     def gc(self, max_bytes: int) -> dict:
         """Bound the store to ``max_bytes``, evicting LRU entries.
 
@@ -562,11 +637,22 @@ class DiskCache:
         ``repro cache gc``).
         """
         stats = {"evicted": 0, "bytes_freed": 0, "kept_entries": 0,
-                 "kept_bytes": 0, "tmp_removed": 0, "spill_removed": 0}
+                 "kept_bytes": 0, "tmp_removed": 0, "spill_removed": 0,
+                 "queue_campaigns_removed": 0,
+                 "queue_leases_reclaimed": 0,
+                 "queue_heartbeats_removed": 0}
         if not self.enabled:
             return stats
         stats["tmp_removed"] = self.sweep_tmp(max_age=0.0)
         stats["spill_removed"] = self.sweep_spill()["removed"]
+        from .queue import sweep_queues
+        queue_stats = sweep_queues(self.root)
+        stats["queue_campaigns_removed"] = \
+            queue_stats["campaigns_removed"]
+        stats["queue_leases_reclaimed"] = \
+            queue_stats["leases_reclaimed"]
+        stats["queue_heartbeats_removed"] = \
+            queue_stats["heartbeats_removed"]
         entries = self._entries()
         total = sum(size for _, size, _, _ in entries)
         entries.sort()  # oldest sidecar mtime first
@@ -630,6 +716,8 @@ class DiskCache:
                 except OSError:
                     continue
         usage["spill"] = {"entries": spill_entries, "bytes": spill_bytes}
+        from .queue import queue_usage
+        usage["queue"] = queue_usage(self.root)
         quarantine = self.root / QUARANTINE_DIR
         if quarantine.is_dir():
             usage["quarantined_files"] = sum(

@@ -136,13 +136,13 @@ def _prefetch_sweeps(runner: ExperimentRunner, cells: list[dict],
     hits, so aggregation order — and therefore output bytes — are
     identical to a fully serial run.
     """
-    from .parallel import resolve_jobs
+    from .parallel import active_executor, resolve_jobs
     # One trace and one memory-side state per (sweep cell, ratio point):
     # size the runner's caches to the figure's own grid up front.
     points = sum(len(cell.get("ratios", NURSERY_RATIOS))
                  for cell in cells)
     runner.ensure_cache_capacity(traces=points, states=points)
-    if resolve_jobs(jobs) <= 1:
+    if resolve_jobs(jobs) <= 1 and active_executor() is None:
         return
     memo = sweep_memo(runner)
     pending = [cell for cell in cells

@@ -64,6 +64,7 @@ are rejected rather than silently spawning hundreds of workers.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
@@ -89,6 +90,12 @@ CRASH_EXIT = 11
 #: shape of :func:`_run_cell`'s return value changes; the parent only
 #: merges payloads whose schema it understands.
 WIRE_SCHEMA = 2
+
+#: Process-global pluggable executor. When set (see :func:`use_executor`),
+#: :func:`fan_out` delegates whole item batches to it instead of the
+#: local pool — this is how ``figures --distributed`` routes cells into
+#: the lease-based work queue without changing any call site.
+_ACTIVE_EXECUTOR = None
 
 #: Worker-global runner, built once per process by :func:`_init_worker`.
 _WORKER_RUNNER = None
@@ -169,6 +176,27 @@ def _run_cell(payload):
     return payload
 
 
+@contextlib.contextmanager
+def use_executor(executor):
+    """Route every :func:`fan_out` in this process through ``executor``
+    (an object with ``run(runner, fn, items) -> list``, e.g.
+    :class:`~repro.experiments.queue.QueueExecutor`). ``None`` restores
+    the local pool — the queue executor uses that to degrade to an
+    ordinary supervised fan-out without recursing into itself."""
+    global _ACTIVE_EXECUTOR
+    previous = _ACTIVE_EXECUTOR
+    _ACTIVE_EXECUTOR = executor
+    try:
+        yield executor
+    finally:
+        _ACTIVE_EXECUTOR = previous
+
+
+def active_executor():
+    """The executor installed by :func:`use_executor`, or None."""
+    return _ACTIVE_EXECUTOR
+
+
 def fan_out(runner, fn, items, jobs: int | None = None,
             policy: RetryPolicy | None = None) -> list:
     """Run ``fn(runner, *args)`` for each args-tuple in ``items``.
@@ -176,9 +204,14 @@ def fan_out(runner, fn, items, jobs: int | None = None,
     With one job (or one item) this is a plain serial loop on the
     caller's runner — no processes, no pickling, no fault injection.
     Otherwise cells run in a supervised fork-context pool (see the
-    module docstring) and results return in submission order.
+    module docstring) and results return in submission order. An
+    installed :func:`use_executor` executor takes precedence over both
+    paths — even the serial one, because distributed cells should go to
+    the fleet regardless of the local ``--jobs`` value.
     """
     items = [tuple(args) for args in items]
+    if _ACTIVE_EXECUTOR is not None and items:
+        return _ACTIVE_EXECUTOR.run(runner, fn, items)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
         return [fn(runner, *args) for args in items]

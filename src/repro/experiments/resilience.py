@@ -40,6 +40,21 @@ different ``attempt``). Kinds:
     :class:`~repro.experiments.diskcache.DiskCache` flips bytes in the
     ``.npz`` it just stored (exercises checksum verification,
     quarantine, and recompute).
+``worker_exit``
+    a queue worker (``python -m repro work``) ``os._exit``\\ s right
+    after claiming a cell — a simulated ``kill -9`` (exercises lease
+    expiry + reclamation by a peer). Site is the cell id, attempt the
+    cell's reclaim generation.
+``lease_stall``
+    a queue worker silently abandons a claimed cell without completing
+    or heartbeating it, then sleeps ``sleep`` seconds — a hung worker
+    whose *process* stays alive (exercises per-lease staleness, not
+    just worker death).
+``heartbeat_stop``
+    a queue worker's heartbeat thread freezes permanently while the
+    worker keeps executing (exercises reclamation of live-but-presumed-
+    dead workers and journal-level duplicate-completion dedup). Site is
+    the worker id, attempt the renewal count.
 
 Recovery is observable: the supervised pool and the disk cache count
 ``resilience.retries``, ``resilience.pool_rebuilds``,
@@ -72,7 +87,8 @@ CHECKPOINT_NAME = "figures.journal"
 #: Journal record schema; bump on incompatible layout changes.
 CHECKPOINT_SCHEMA = 1
 
-_FAULT_KINDS = frozenset({"worker_crash", "cell_timeout", "cache_corrupt"})
+_FAULT_KINDS = frozenset({"worker_crash", "cell_timeout", "cache_corrupt",
+                          "worker_exit", "lease_stall", "heartbeat_stop"})
 
 
 # ----------------------------------------------------------------------
@@ -86,7 +102,8 @@ class FaultSpec:
     kind: str
     probability: float
     seed: int = 0
-    #: ``cell_timeout`` only: how long the injected hang sleeps.
+    #: ``cell_timeout`` / ``lease_stall``: how long the injected hang
+    #: sleeps.
     sleep_seconds: float = 30.0
 
 
@@ -300,8 +317,13 @@ class CampaignReport:
     completed: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     over_budget: list[str] = field(default_factory=list)
+    #: Distributed mode only: figures abandoned because one of their
+    #: cells was poisoned (serial mode raises instead).
+    failed: list[str] = field(default_factory=list)
     wall_seconds: dict[str, float] = field(default_factory=dict)
     checkpoint: str = ""
+    #: Queue campaign directory when the run was distributed.
+    queue_dir: str = ""
 
     def summary_rows(self) -> list[list[str]]:
         rows = []
@@ -311,12 +333,18 @@ class CampaignReport:
             status = "over budget" if name in self.over_budget else "done"
             rows.append([name, status,
                          f"{self.wall_seconds.get(name, 0.0):.1f}s"])
+        for name in self.failed:
+            rows.append([name, "failed (poisoned cells)",
+                         f"{self.wall_seconds.get(name, 0.0):.1f}s"])
         return rows
 
 
 def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
                  checkpoint: str | Path | None = None, fresh: bool = False,
                  budget_seconds: float | None = None,
+                 distributed: bool = False,
+                 queue_dir: str | Path | None = None,
+                 grace_seconds: float | None = None,
                  emit=print) -> CampaignReport:
     """Regenerate figures in one process, checkpointing each completion.
 
@@ -327,6 +355,15 @@ def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
     discards the journal first. ``budget_seconds`` is a per-figure
     wall-clock budget: exceeding it does not abort, but is flagged in
     the summary and counted (``campaign.over_budget``).
+
+    ``distributed=True`` turns this process into the *coordinator* of a
+    lease-based work queue (see :mod:`~repro.experiments.queue`): every
+    fan-out inside the figure functions publishes claimable cells that
+    ``python -m repro work`` peers execute; with no live workers for
+    ``grace_seconds`` the coordinator finishes cells itself through the
+    ordinary supervised pool. A figure whose cells end up poisoned is
+    recorded in ``report.failed`` (and not checkpointed) instead of
+    aborting the figures that remain.
     """
     from .diskcache import DiskCache
     from .figures import ALL_FIGURES, figure_scale
@@ -344,56 +381,141 @@ def run_campaign(names=None, quick: bool = True, jobs: int | None = None,
     # Self-heal before the long campaign: orphaned .tmp files from a
     # previous kill never age into permanent litter.
     DiskCache().sweep_tmp()
+    if distributed:
+        return _run_distributed_campaign(
+            names, quick, jobs, path, done, budget_seconds,
+            queue_dir, grace_seconds, emit)
     metrics = TELEMETRY.metrics
     report = CampaignReport(checkpoint=str(path))
     runners: dict[int, object] = {}
     for name in names:
-        record = done.get(name)
-        if record is not None and record.get("quick") == quick:
-            report.skipped.append(name)
-            metrics.counter("campaign.figures_skipped").inc()
-            TELEMETRY.events.emit("campaign.figure.skipped", figure=name)
-            emit(f"-- {name}: done at checkpoint "
-                 f"({record.get('wall_seconds', 0.0):.1f}s last time), "
-                 "skipping")
+        if _checkpointed(name, done, quick, report, metrics, emit):
             continue
-        func = ALL_FIGURES[name]
-        scale = figure_scale(name)
-        runner = None
-        if scale is not None:
-            if scale not in runners:
-                from .runner import ExperimentRunner
-                runners[scale] = ExperimentRunner(scale=scale)
-            runner = runners[scale]
-        start = time.perf_counter()
-        TELEMETRY.events.emit("campaign.figure.begin", figure=name)
-        with TELEMETRY.tracer.span("campaign.figure", figure=name):
-            if runner is None:
-                result = func()
-            else:
-                result = func(runner, quick=quick, jobs=jobs)
-        wall = time.perf_counter() - start
-        TELEMETRY.events.emit("campaign.figure.end", figure=name,
-                              wall_seconds=round(wall, 3))
-        emit(str(result))
-        report.completed.append(name)
-        report.wall_seconds[name] = wall
-        metrics.counter("campaign.figures_run").inc()
-        over = budget_seconds is not None and wall > budget_seconds
-        if over:
-            report.over_budget.append(name)
-            metrics.counter("campaign.over_budget").inc()
-            emit(f"-- {name}: {wall:.1f}s exceeded the "
-                 f"{budget_seconds:.1f}s budget")
-        append_checkpoint(path, {
-            "figure": name,
-            "quick": quick,
-            "wall_seconds": round(wall, 3),
-            "budget_seconds": budget_seconds,
-            "over_budget": over,
-            "completed_unix": time.time(),
-        })
-        _register_figure(name, quick, wall)
+        _run_one_figure(name, quick, jobs, runners, budget_seconds,
+                        path, report, metrics, emit)
+    return report
+
+
+def _checkpointed(name: str, done: dict, quick: bool,
+                  report: CampaignReport, metrics, emit) -> bool:
+    record = done.get(name)
+    if record is None or record.get("quick") != quick:
+        return False
+    report.skipped.append(name)
+    metrics.counter("campaign.figures_skipped").inc()
+    TELEMETRY.events.emit("campaign.figure.skipped", figure=name)
+    emit(f"-- {name}: done at checkpoint "
+         f"({record.get('wall_seconds', 0.0):.1f}s last time), "
+         "skipping")
+    return True
+
+
+def _run_one_figure(name: str, quick: bool, jobs: int | None,
+                    runners: dict, budget_seconds: float | None,
+                    path: Path, report: CampaignReport, metrics,
+                    emit) -> None:
+    from .figures import ALL_FIGURES, figure_scale
+    func = ALL_FIGURES[name]
+    scale = figure_scale(name)
+    runner = None
+    if scale is not None:
+        if scale not in runners:
+            from .runner import ExperimentRunner
+            runners[scale] = ExperimentRunner(scale=scale)
+        runner = runners[scale]
+    start = time.perf_counter()
+    TELEMETRY.events.emit("campaign.figure.begin", figure=name)
+    with TELEMETRY.tracer.span("campaign.figure", figure=name):
+        if runner is None:
+            result = func()
+        else:
+            result = func(runner, quick=quick, jobs=jobs)
+    wall = time.perf_counter() - start
+    TELEMETRY.events.emit("campaign.figure.end", figure=name,
+                          wall_seconds=round(wall, 3))
+    emit(str(result))
+    report.completed.append(name)
+    report.wall_seconds[name] = wall
+    metrics.counter("campaign.figures_run").inc()
+    over = budget_seconds is not None and wall > budget_seconds
+    if over:
+        report.over_budget.append(name)
+        metrics.counter("campaign.over_budget").inc()
+        emit(f"-- {name}: {wall:.1f}s exceeded the "
+             f"{budget_seconds:.1f}s budget")
+    append_checkpoint(path, {
+        "figure": name,
+        "quick": quick,
+        "wall_seconds": round(wall, 3),
+        "budget_seconds": budget_seconds,
+        "over_budget": over,
+        "completed_unix": time.time(),
+    })
+    _register_figure(name, quick, wall)
+
+
+def _run_distributed_campaign(names, quick: bool, jobs: int | None,
+                              path: Path, done: dict,
+                              budget_seconds: float | None,
+                              queue_dir, grace_seconds,
+                              emit) -> CampaignReport:
+    """Coordinator side of a distributed campaign: every fan-out in the
+    figure functions routes through one :class:`~repro.experiments.
+    queue.QueueExecutor` for the campaign's queue directory."""
+    from .diskcache import cache_root
+    from .parallel import use_executor
+    from .queue import (QueueExecutor, WorkQueue, campaign_id,
+                        queue_root)
+    metrics = TELEMETRY.metrics
+    if queue_dir is not None:
+        directory = Path(queue_dir)
+    else:
+        base = queue_root()
+        if base is None:
+            raise ExperimentError(
+                "figures --distributed needs the disk cache (workers "
+                "rendezvous under <cache-root>/queue); unset "
+                "REPRO_CACHE=off or pass --queue DIR")
+        directory = base / campaign_id(names, quick)
+    root = cache_root()
+    queue = WorkQueue(directory).ensure(
+        extra={"cache_dir": str(root) if root else "",
+               "figures": sorted(names), "quick": quick})
+    executor = QueueExecutor(queue, grace_seconds=grace_seconds,
+                             local_jobs=jobs)
+    report = CampaignReport(checkpoint=str(path),
+                            queue_dir=str(directory))
+    runners: dict[int, object] = {}
+    emit(f"-- distributed campaign {queue.campaign}: queue at "
+         f"{directory} (workers: python -m repro work)")
+    TELEMETRY.events.emit("campaign.distributed.begin",
+                          campaign=queue.campaign,
+                          queue_dir=str(directory))
+    try:
+        with use_executor(executor):
+            for name in names:
+                if _checkpointed(name, done, quick, report, metrics,
+                                 emit):
+                    continue
+                try:
+                    _run_one_figure(name, quick, jobs, runners,
+                                    budget_seconds, path, report,
+                                    metrics, emit)
+                except ExperimentError as exc:
+                    # Poisoned cells (or another dead end) must not
+                    # stall the figures that remain; the failure is
+                    # loud in the summary and the journal is NOT
+                    # checkpointed for this figure.
+                    report.failed.append(name)
+                    metrics.counter("campaign.figures_failed").inc()
+                    TELEMETRY.events.emit("campaign.figure.failed",
+                                          figure=name, error=str(exc))
+                    emit(f"-- {name}: FAILED: {exc}")
+    finally:
+        queue.close("failed" if report.failed else "complete")
+        TELEMETRY.events.emit("campaign.distributed.end",
+                              campaign=queue.campaign,
+                              failed=len(report.failed))
     return report
 
 

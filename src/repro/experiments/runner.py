@@ -272,7 +272,9 @@ class ExperimentRunner:
             _, evicted = self._traces.popitem(last=False)
             self._note_trace_eviction(evicted)
         self.last_handle = handle
-        self.disk_cache.store_run(disk_key, handle)
+        self.disk_cache.store_run(
+            disk_key, handle,
+            key_params=self._trace_key_params(*key[:4], warmup_runs))
         if self.metrics_out is not None:
             self.write_manifest(self.metrics_out)
         return handle
@@ -367,7 +369,9 @@ class ExperimentRunner:
             state = system.memory_side(handle.trace)
         self._state_disk_keys[key] = disk_key
         self._store_state(key, state)
-        self.disk_cache.store_state(disk_key, state)
+        self.disk_cache.store_state(
+            disk_key, state,
+            key_params=self._state_key_params(handle, config))
         return state
 
     def _store_state(self, key: tuple, state: MemorySideState) -> None:
@@ -450,6 +454,22 @@ class ExperimentRunner:
             "trace_cache_size": self._trace_cache_size,
             "state_cache_size": self._state_cache_size,
             "disk_cache": self.disk_cache,
+        }
+
+    def queue_params(self) -> dict:
+        """JSON-able clone parameters for a *cross-process* worker.
+
+        Like :meth:`spawn_params` but serializable into a queue cell:
+        the disk-cache object is dropped — a queue worker builds its
+        own :class:`~repro.experiments.diskcache.DiskCache` rooted at
+        the campaign's shared cache directory, which is the whole
+        rendezvous mechanism.
+        """
+        return {
+            "scale": self.scale,
+            "max_instructions": self.max_instructions,
+            "trace_cache_size": self._trace_cache_size,
+            "state_cache_size": self._state_cache_size,
         }
 
     def _normalized_key(self, request: dict) -> tuple:

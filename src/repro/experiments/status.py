@@ -99,6 +99,48 @@ def _cache_lines() -> list[str]:
     return lines
 
 
+def _queue_lines() -> list[str]:
+    """Distributed-campaign panel: cells by state, live workers by
+    heartbeat age, reclaim/poison counts. Read-only like the rest."""
+    from .queue import WorkQueue, discover_campaigns
+    directories = discover_campaigns(active_only=False)
+    active = [path for path in directories
+              if (WorkQueue(path).manifest() or {}).get("state")
+              == "active"]
+    if not directories:
+        return []
+    lines = [f"queue      : {len(active)} active campaign(s), "
+             f"{len(directories) - len(active)} closed"]
+    for path in directories:
+        queue = WorkQueue(path)
+        manifest = queue.manifest() or {}
+        state = manifest.get("state", "?")
+        counts = queue.counts()
+        done = len(queue.results())
+        lines.append(
+            f"  {queue.campaign} [{state}]: "
+            f"{counts['pending']} pending, {counts['leased']} leased, "
+            f"{done} done, {counts['poison']} poisoned")
+        if state != "active":
+            continue
+        workers = queue.worker_ages()
+        ttl = queue.ttl
+        if workers:
+            parts = []
+            for name, age in sorted(workers.items(),
+                                    key=lambda item: item[1]):
+                tag = "" if age < ttl else " (stale)"
+                parts.append(f"{name} {_fmt_age(age)}{tag}")
+            lines.append(f"    workers: {', '.join(parts)}")
+        else:
+            lines.append("    workers: none seen")
+        reclaims = queue.total_reclaims()
+        if reclaims or counts["poison"]:
+            lines.append(f"    recovery: {reclaims} lease reclaim(s), "
+                         f"{counts['poison']} poisoned cell(s)")
+    return lines
+
+
 def _registry_lines() -> list[str]:
     from ..telemetry.registry import RunRegistry
     registry = RunRegistry()
@@ -138,10 +180,12 @@ def render_status(checkpoint: str | Path | None = None) -> str:
         ["repro campaign status — "
          + time.strftime("%Y-%m-%d %H:%M:%S")],
         _campaign_lines(checkpoint),
+        _queue_lines(),
         _cache_lines(),
         _registry_lines(),
     ]
-    return "\n".join("\n".join(section) for section in sections)
+    return "\n".join("\n".join(section)
+                     for section in sections if section)
 
 
 def watch_status(interval: float = 2.0,

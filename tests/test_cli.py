@@ -101,3 +101,81 @@ def test_cache_commands_report_disabled_cache(monkeypatch, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# -- distributed-campaign commands -------------------------------------
+
+
+def _publish_one_cell(campaign_dir):
+    """A one-cell campaign whose fn is this module's `_cli_probe`."""
+    from repro.experiments.diskcache import DiskCache
+    from repro.experiments.queue import WorkQueue, make_cell
+    root = DiskCache().root
+    queue = WorkQueue(campaign_dir, ttl=5.0)
+    queue.ensure(extra={"cache_dir": str(root)})
+    queue.publish([make_cell(_cli_probe, (21,), {"scale": 1})])
+    return queue
+
+
+def _cli_probe(runner, value):
+    return value * 2
+
+
+def test_work_command_drains_a_campaign(tmp_path, capsys):
+    campaign_dir = tmp_path / "queue" / "cli-smoke"
+    queue = _publish_one_cell(campaign_dir)
+    assert main(["work", "--queue", str(campaign_dir),
+                 "--max-cells", "1", "--idle-exit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "1 cells completed" in out
+    assert len(queue.results()) == 1
+
+
+def test_work_command_idle_exits_on_empty_root(tmp_path, capsys):
+    assert main(["work", "--queue", str(tmp_path / "empty"),
+                 "--idle-exit", "0.1"]) == 0
+    assert "0 cells completed" in capsys.readouterr().out
+
+
+def test_figures_distributed_degrades_to_local(tmp_path, capsys):
+    journal = tmp_path / "campaign.journal"
+    queue_dir = tmp_path / "queue" / "solo"
+    assert main(["figures", "table1", "--distributed",
+                 "--grace-seconds", "0",
+                 "--queue", str(queue_dir),
+                 "--checkpoint", str(journal)]) == 0
+    captured = capsys.readouterr()
+    assert "1 run, 0 checkpointed" in captured.out
+    assert str(queue_dir) in captured.err
+
+
+def _warm_cache(workloads=("chaos",)):
+    """Store real trace entries in the per-test cache root."""
+    from repro.experiments.diskcache import DiskCache
+    from repro.experiments.runner import ExperimentRunner
+    cache = DiskCache()
+    runner = ExperimentRunner(disk_cache=cache)
+    for workload in workloads:
+        runner.run(workload=workload, runtime="pypy", jit=True,
+                   nursery=64 * 1024)
+    return cache
+
+
+def test_cache_verify_command(capsys):
+    _warm_cache(("chaos", "nbody"))
+    assert main(["cache", "verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verified 2 entries" in out
+    assert "0 checksum mismatches" in out
+    assert main(["cache", "verify", "--sample", "1"]) == 0
+    assert "not sampled" in capsys.readouterr().out
+
+
+def test_cache_verify_flags_corruption(capsys):
+    cache = _warm_cache()
+    npz = next((cache.root / "traces").glob("*.npz"))
+    npz.write_bytes(npz.read_bytes()[:-5])
+    assert main(["cache", "verify"]) == 1
+    captured = capsys.readouterr()
+    assert "1 checksum mismatches" in captured.out
+    assert "quarantine" in captured.err

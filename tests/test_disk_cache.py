@@ -482,3 +482,90 @@ def test_no_spill_counters_when_disk_cache_disabled(tmp_path):
     runner.run("chaos", runtime="pypy", jit=True, nursery=64 * 1024)
     runner.run("nbody", runtime="pypy", jit=True, nursery=64 * 1024)
     assert _counter("cache.spilled") == 0
+
+
+# -- verify_entries: the `repro cache verify` audit --------------------
+
+
+def test_verify_entries_clean_cache_passes(tmp_path):
+    _populate_state(tmp_path)  # stores one trace + one state
+    cache = DiskCache(tmp_path / "cache")
+    stats = cache.verify_entries()
+    assert stats["checked"] == 2
+    assert stats["ok"] == 2
+    assert stats["checksum_mismatches"] == 0
+    assert stats["key_mismatches"] == 0
+    # Fresh entries always record their key_params sidecar field.
+    assert stats["unkeyed"] == 0
+    assert _quarantined_files(tmp_path) == []
+
+
+def test_verify_entries_quarantines_checksum_mismatch(tmp_path):
+    from repro import telemetry
+    _populate_trace(tmp_path)
+    npz, _ = _entry_paths(tmp_path, "traces")
+    npz.write_bytes(npz.read_bytes()[:-7])
+    telemetry.enable()
+    telemetry.reset()
+    stats = DiskCache(tmp_path / "cache").verify_entries()
+    assert stats["checked"] == 1
+    assert stats["checksum_mismatches"] == 1
+    assert stats["ok"] == 0
+    assert len(_quarantined_files(tmp_path)) == 2  # npz + sidecar
+    # And the entry is gone, so a reader recomputes cleanly.
+    recomputed = fresh_runner(tmp_path).run(**_RUN)
+    assert recomputed.output
+
+
+def test_verify_entries_quarantines_key_mismatch(tmp_path):
+    from repro import telemetry
+    _populate_trace(tmp_path)
+    npz, meta_path = _entry_paths(tmp_path, "traces")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    assert isinstance(meta["key_params"], dict)
+    # Sidecar claims parameters that hash to a different key: the
+    # payload is intact but was filed under the wrong name.
+    meta["key_params"]["workload"] = "nbody"
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    telemetry.enable()
+    telemetry.reset()
+    stats = DiskCache(tmp_path / "cache").verify_entries()
+    assert stats["key_mismatches"] == 1
+    assert stats["checksum_mismatches"] == 0
+    assert _counter("cache.key_mismatch{kind=traces}") == 1
+    assert len(_quarantined_files(tmp_path)) == 2
+
+
+def test_verify_entries_tolerates_legacy_unkeyed_sidecars(tmp_path):
+    _populate_trace(tmp_path)
+    _, meta_path = _entry_paths(tmp_path, "traces")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta.pop("key_params")  # entry written before the audit existed
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    stats = DiskCache(tmp_path / "cache").verify_entries()
+    assert stats["unkeyed"] == 1
+    assert stats["ok"] == 1
+    assert stats["key_mismatches"] == 0
+    assert _quarantined_files(tmp_path) == []
+
+
+def test_verify_entries_sampling_is_deterministic(tmp_path):
+    writer = fresh_runner(tmp_path)
+    for workload in ("chaos", "nbody", "richards"):
+        writer.run(workload=workload, runtime="pypy", jit=True,
+                   nursery=64 * 1024)
+    cache = DiskCache(tmp_path / "cache")
+    stats = cache.verify_entries(sample=2)
+    assert stats["checked"] == 2
+    assert stats["skipped"] == 1
+    assert stats == cache.verify_entries(sample=2)  # same stride, same pick
+    full = cache.verify_entries()
+    assert full["checked"] == 3
+    assert full["skipped"] == 0
+
+
+def test_verify_entries_disabled_cache_is_a_noop(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_TOGGLE_ENV, "off")
+    stats = DiskCache().verify_entries()
+    assert stats["checked"] == 0
+    assert stats["ok"] == 0

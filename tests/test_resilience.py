@@ -461,3 +461,20 @@ def test_campaign_report_summary_rows():
     rows = report.summary_rows()
     assert rows[0] == ["table1", "checkpointed", "-"]
     assert rows[1] == ["fig5", "done", "1.2s"]
+
+
+def test_parse_faults_accepts_queue_fault_kinds():
+    specs = parse_faults("worker_exit:p=1,seed=3;"
+                         "lease_stall:p=0.5,sleep=2;"
+                         "heartbeat_stop:p=1")
+    assert set(specs) == {"worker_exit", "lease_stall", "heartbeat_stop"}
+    assert specs["worker_exit"].seed == 3
+    assert specs["lease_stall"].sleep_seconds == 2.0
+    assert specs["heartbeat_stop"].probability == 1.0
+
+
+def test_campaign_report_summary_rows_lists_failed_figures():
+    report = CampaignReport(completed=["fig5"], failed=["fig6"],
+                            wall_seconds={"fig5": 1.0, "fig6": 2.5})
+    rows = report.summary_rows()
+    assert ["fig6", "failed (poisoned cells)", "2.5s"] in rows
