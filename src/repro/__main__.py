@@ -14,6 +14,10 @@ cache      disk-cache maintenance (``gc``, ``stats``, ``verify``)
 telemetry  dump the last run's telemetry manifest
 status     one-shot (or ``--watch``) campaign progress view
 perf       perf-regression sentinel (``check``, ``diff``)
+serve      long-lived multi-tenant sweep server (admission control,
+           fair-share scheduling, deadlines, crash-safe session
+           journal, SIGTERM graceful drain)
+query      client for ``serve``: figure queries and health probes
 
 ``run``, ``breakdown``, ``figure``, ``figures``, and ``perf`` execute
 with telemetry enabled and write a per-run manifest (mirrored to
@@ -62,7 +66,7 @@ _MB = 1024 * 1024
 #: Subcommands that run guest code: telemetry is enabled around them
 #: and a manifest is written when they finish.
 _TELEMETRY_COMMANDS = frozenset({"run", "breakdown", "figure", "figures",
-                                 "work", "perf"})
+                                 "work", "perf", "serve"})
 
 #: Conventional exit status for SIGINT (128 + 2).
 EXIT_INTERRUPTED = 130
@@ -311,6 +315,76 @@ def cmd_perf(args) -> int:
                  probe=not args.no_probe)
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from .experiments.server import SweepServer
+    server = SweepServer(
+        socket_path=args.socket, tcp=args.tcp, jobs=args.jobs,
+        tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+        max_inflight=args.max_inflight, quantum=args.quantum,
+        drain_grace=args.drain_grace,
+        default_deadline=args.default_deadline)
+    server.start()
+    print(f"-- serve: listening on {server.endpoint} "
+          f"(journal: {server.journal.path})", flush=True)
+    signal.signal(signal.SIGTERM,
+                  lambda *_: server.request_drain("SIGTERM"))
+    try:
+        server.wait_for_drain_request()
+    except KeyboardInterrupt:
+        server.request_drain("SIGINT")
+    rc = server.drain()
+    stats = server.stats_snapshot()
+    print(f"-- serve: drained ({stats['served']} served, "
+          f"{stats['journal_hits']} journal hits, "
+          f"{stats['rejected']} shed, {stats['resumed']} resumed)",
+          flush=True)
+    args._manifest_stats = stats
+    return rc
+
+
+def cmd_query(args) -> int:
+    from .experiments.client import ServeClient
+    client = ServeClient(socket_path=args.socket, tcp=args.tcp,
+                         timeout=args.timeout, tenant=args.tenant)
+    if args.probe:
+        response = client.probe(args.probe)
+    elif args.drain:
+        response = client.drain()
+    elif args.name:
+        response = client.query_figure(
+            args.name, quick=not args.full, key=args.key,
+            deadline_seconds=args.deadline)
+    else:
+        print("query: name a figure or pass --probe/--drain",
+              file=sys.stderr)
+        return 1
+    if response is None:
+        # The client_disconnect fault dropped the connection on
+        # purpose; the server still finishes and journals the work.
+        print("-- query: disconnected after send (injected fault); "
+              "re-ask by key for the journaled answer",
+              file=sys.stderr)
+        return 0
+    if response.get("ok"):
+        rendered = response.get("rendered")
+        if rendered is not None:
+            print(rendered)
+        else:
+            print(json.dumps(response, sort_keys=True))
+        return 0
+    print(f"error: {response.get('error')}: "
+          f"{response.get('message', '')}", file=sys.stderr)
+    if response.get("error") == "RETRY_AFTER":
+        print(f"retry after {response.get('retry_after')}s "
+              f"(reason: {response.get('reason')}, "
+              f"key: {response.get('key')})", file=sys.stderr)
+        # EX_TEMPFAIL: shed load is a retryable condition, not a bug.
+        return 75
+    return 1
+
+
 def cmd_telemetry(args) -> int:
     if args.registry:
         from .telemetry.registry import RunRegistry
@@ -492,6 +566,75 @@ def build_parser() -> argparse.ArgumentParser:
                    help="check: reuse the registry's last probe "
                         "instead of measuring")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived multi-tenant sweep server over a Unix/TCP "
+             "socket (drain with SIGTERM)")
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="Unix socket path (default: "
+                        "<cache-root>/serve/serve.sock)")
+    p.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                   help="listen on TCP instead (port 0 = ephemeral)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes per request's cells "
+                        "(default: serial in-process)")
+    p.add_argument("--tenant-rate", type=float, default=2.0,
+                   help="admission tokens per second per tenant "
+                        "(default: 2)")
+    p.add_argument("--tenant-burst", type=float, default=8.0,
+                   help="admission token-bucket burst per tenant "
+                        "(default: 8)")
+    p.add_argument("--max-inflight", type=int, default=16,
+                   help="bound on accepted-but-unfinished requests "
+                        "before shedding with RETRY_AFTER "
+                        "(default: 16)")
+    p.add_argument("--quantum", type=float, default=4.0,
+                   help="deficit-round-robin quantum in cells "
+                        "(default: 4)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   help="seconds to let the in-flight request finish "
+                        "on drain before cancelling between cells "
+                        "(default: 30)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   help="deadline_seconds applied to requests that "
+                        "carry none (default: unlimited)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the telemetry manifest (JSON) here")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the unified Chrome trace-event JSON "
+                        "here")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="query a running sweep server")
+    p.add_argument("name", nargs="?", default=None,
+                   help="figure id to request (table1, fig4, ...)")
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="Unix socket path (default: "
+                        "<cache-root>/serve/serve.sock)")
+    p.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                   help="connect over TCP instead")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for admission/fair-share "
+                        "accounting (default: default)")
+    p.add_argument("--key", default=None,
+                   help="idempotency key (default: derived from "
+                        "tenant + request; reuse it to re-ask)")
+    p.add_argument("--full", action="store_true",
+                   help="full grids instead of quick ones")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="deadline_seconds for this request")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="socket timeout in seconds (default: wait)")
+    p.add_argument("--probe", choices=("ping", "ready", "status"),
+                   default=None,
+                   help="health/readiness/status probe instead of a "
+                        "figure query")
+    p.add_argument("--drain", action="store_true",
+                   help="ask the server to drain (same as SIGTERM)")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
         "telemetry",

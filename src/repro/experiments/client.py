@@ -1,0 +1,244 @@
+"""Thin client for ``repro serve`` (newline-delimited JSON).
+
+The protocol is one JSON object per line in both directions. Every
+request carries a ``type``; compute requests (``figure``/``bench``)
+additionally carry a ``tenant`` and an idempotency ``key``. Responses
+always carry ``ok``; failures are *typed*::
+
+    {"ok": false, "error": "RETRY_AFTER", "reason": "quota",
+     "retry_after": 1.5, "key": "..."}
+
+Error codes:
+
+``RETRY_AFTER``
+    admission control shed this request (``reason`` is ``quota``,
+    ``backpressure``, or ``draining``); re-ask after ``retry_after``
+    seconds — with the *same key*, which makes the retry idempotent
+    even across a server restart.
+``DEADLINE_EXCEEDED``
+    the request's deadline passed before its work finished; terminal
+    for that key.
+``BAD_REQUEST``
+    unparseable line, unknown type, or unknown figure.
+``INTERNAL``
+    the figure function raised; the repr travels in ``message``.
+
+The request key is the unit of idempotence: the server journals every
+accepted key and every result, so a client that crashed, timed out, or
+was disconnected mid-request simply re-asks with the same key and gets
+either the journaled answer or a seat waiting for the in-flight one.
+:func:`request_key` derives a deterministic default from the tenant and
+the normalized spec, so identical asks dedupe naturally.
+
+The ``client_disconnect`` fault kind (:data:`~repro.experiments.
+resilience.FAULTS_ENV`) makes :meth:`ServeClient.request` drop the
+connection right after sending — the chaos tests use it to prove the
+server completes and journals work whose client went away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import time
+from pathlib import Path
+
+from ..errors import ReproError
+from .resilience import FaultPlan
+
+#: Bump when the request/response/journal shapes change incompatibly.
+SERVE_SCHEMA = 1
+
+RETRY_AFTER = "RETRY_AFTER"
+DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+BAD_REQUEST = "BAD_REQUEST"
+INTERNAL = "INTERNAL"
+
+
+class ServeUnavailable(ReproError):
+    """No server answered at the endpoint (connect/recv failed)."""
+
+
+def serve_root() -> Path:
+    """Directory the serve plane lives in: ``<cache-root>/serve``.
+
+    With the disk cache off there is still a journal to keep, so the
+    fallback is a local ``.repro-serve`` directory.
+    """
+    from .diskcache import cache_root
+    root = cache_root()
+    if root is None:
+        return Path(".repro-serve")
+    return root / "serve"
+
+
+def default_socket_path() -> Path:
+    """Default Unix-socket rendezvous, under :func:`serve_root`."""
+    return serve_root() / "serve.sock"
+
+
+def request_key(tenant: str, spec: dict) -> str:
+    """Deterministic idempotency key for one (tenant, spec) ask."""
+    payload = json.dumps({"tenant": tenant, "spec": spec},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def parse_endpoint(socket_path: str | os.PathLike | None = None,
+                   tcp: str | None = None) -> tuple[str, object]:
+    """Resolve ``(kind, address)``: explicit TCP wins, then an explicit
+    socket path, then the default socket under the cache root."""
+    if tcp:
+        host, sep, port_text = str(tcp).rpartition(":")
+        if not sep or not host:
+            raise ReproError(
+                f"--tcp must look like HOST:PORT, got {tcp!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ReproError(
+                f"--tcp port must be an integer, got {port_text!r}"
+            ) from None
+        return ("tcp", (host, port))
+    if socket_path is not None:
+        return ("unix", str(socket_path))
+    return ("unix", str(default_socket_path()))
+
+
+class ServeClient:
+    """One-request-per-connection client for the sweep server.
+
+    Each :meth:`request` opens a fresh connection, sends one line, and
+    blocks for one response line; blocking asks (a cold figure) hold
+    the connection open until the scheduler answers. ``timeout`` is
+    the per-request socket timeout (None = wait forever).
+    """
+
+    def __init__(self, socket_path: str | os.PathLike | None = None,
+                 tcp: str | None = None, timeout: float | None = None,
+                 tenant: str = "default",
+                 faults: FaultPlan | None = None) -> None:
+        self.kind, self.address = parse_endpoint(socket_path, tcp)
+        self.timeout = timeout
+        self.tenant = tenant
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            if self.kind == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.address)
+            else:
+                sock = socket.create_connection(self.address,
+                                                timeout=self.timeout)
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"no sweep server at {self.describe()}: {exc}"
+            ) from exc
+        return sock
+
+    def describe(self) -> str:
+        if self.kind == "unix":
+            return f"unix:{self.address}"
+        host, port = self.address
+        return f"tcp:{host}:{port}"
+
+    def request(self, payload: dict) -> dict | None:
+        """Send one request; block for its response.
+
+        Returns None when the ``client_disconnect`` fault fires (the
+        connection is dropped right after the send — the server must
+        finish and journal the work anyway).
+        """
+        sock = self._connect()
+        try:
+            line = json.dumps(payload, sort_keys=True) + "\n"
+            sock.sendall(line.encode("utf-8"))
+            site = str(payload.get("key") or payload.get("type") or "")
+            if self.faults.should_fire("client_disconnect", site):
+                return None
+            buffer = b""
+            while b"\n" not in buffer:
+                try:
+                    chunk = sock.recv(1 << 16)
+                except OSError as exc:
+                    raise ServeUnavailable(
+                        f"server at {self.describe()} stopped "
+                        f"responding: {exc}") from exc
+                if not chunk:
+                    raise ServeUnavailable(
+                        f"server at {self.describe()} closed the "
+                        "connection before responding (crashed or "
+                        "killed mid-request? re-ask by key)")
+                buffer += chunk
+            response = json.loads(buffer.split(b"\n", 1)[0])
+            if not isinstance(response, dict):
+                raise ServeUnavailable(
+                    f"malformed response from {self.describe()}")
+            return response
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- convenience wrappers ------------------------------------------
+
+    def probe(self, kind: str = "ping") -> dict | None:
+        """``ping`` / ``ready`` / ``status`` control probe."""
+        return self.request({"type": kind})
+
+    def query_figure(self, name: str, quick: bool = True,
+                     key: str | None = None,
+                     deadline_seconds: float | None = None,
+                     tenant: str | None = None) -> dict | None:
+        tenant = tenant if tenant is not None else self.tenant
+        spec = {"type": "figure", "figure": name, "quick": bool(quick)}
+        payload = dict(spec)
+        payload["tenant"] = tenant
+        payload["key"] = key or request_key(tenant, spec)
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self.request(payload)
+
+    def bench(self, cells: int = 1, cell_seconds: float = 0.0,
+              key: str | None = None,
+              deadline_seconds: float | None = None,
+              tenant: str | None = None) -> dict | None:
+        """Synthetic scheduling probe: ``cells`` no-op cells of
+        ``cell_seconds`` each — exercises admission, fairness, and
+        deadlines without running a simulation."""
+        tenant = tenant if tenant is not None else self.tenant
+        spec = {"type": "bench", "cells": int(cells),
+                "cell_seconds": float(cell_seconds)}
+        payload = dict(spec)
+        payload["tenant"] = tenant
+        payload["key"] = key or request_key(
+            tenant, {**spec, "nonce": time.time_ns()})
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self.request(payload)
+
+    def drain(self) -> dict | None:
+        """Ask the server to drain (same path as SIGTERM)."""
+        return self.request({"type": "drain"})
+
+
+def wait_until_ready(client: ServeClient, timeout: float = 30.0,
+                     poll: float = 0.1) -> bool:
+    """Poll the readiness probe until it answers ``ready`` or times out."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            response = client.probe("ready")
+        except ServeUnavailable:
+            response = None
+        if response and response.get("ready"):
+            return True
+        time.sleep(poll)
+    return False

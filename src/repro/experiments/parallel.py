@@ -180,9 +180,14 @@ def _run_cell(payload):
 def use_executor(executor):
     """Route every :func:`fan_out` in this process through ``executor``
     (an object with ``run(runner, fn, items) -> list``, e.g.
-    :class:`~repro.experiments.queue.QueueExecutor`). ``None`` restores
-    the local pool — the queue executor uses that to degrade to an
-    ordinary supervised fan-out without recursing into itself."""
+    :class:`~repro.experiments.queue.QueueExecutor` or the sweep
+    server's per-request executor, which adds deadline/drain
+    checkpoints between cells). ``None`` restores the local pool — the
+    queue and serve executors use that to degrade to an ordinary
+    supervised fan-out without recursing into themselves. The slot is
+    process-global, so only one thread at a time may execute figure
+    code under an installed executor (the sweep server guarantees this
+    with its single scheduler thread)."""
     global _ACTIVE_EXECUTOR
     previous = _ACTIVE_EXECUTOR
     _ACTIVE_EXECUTOR = executor

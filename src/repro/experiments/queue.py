@@ -197,6 +197,21 @@ def _mtime_age(path: Path, now: float | None = None) -> float | None:
     return (now if now is not None else time.time()) - mtime
 
 
+def seeded_jitter(token: str, purpose: str, low: float,
+                  high: float) -> float:
+    """Deterministic per-worker jitter factor in ``[low, high)``.
+
+    Many workers sharing one cache directory must not synchronize
+    their heartbeat fsyncs and idle polls (a thundering herd on NFS);
+    hashing the worker id keeps the spread reproducible, so faulted
+    chaos runs stay deterministic.
+    """
+    digest = hashlib.sha256(
+        f"{purpose}|{token}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return low + (high - low) * unit
+
+
 def encode_args(args: tuple) -> str:
     return base64.b64encode(
         pickle.dumps(tuple(args), protocol=4)).decode("ascii")
@@ -585,7 +600,11 @@ class WorkQueue:
             return workers
         for path in directory.glob("*.json"):
             age = _mtime_age(path, now)
-            if age is not None and age < self.ttl:
+            # Symmetric window: a slightly-ahead clock still counts as
+            # live, but a far-future heartbeat (> one TTL ahead) is as
+            # untrustworthy as a stale one — it must not read as "live
+            # forever".
+            if age is not None and -self.ttl < age < self.ttl:
                 workers[path.stem] = age
         return workers
 
@@ -601,6 +620,21 @@ class WorkQueue:
             if age is not None:
                 ages[path.stem] = age
         return ages
+
+    def _lease_stale(self, path: Path, now: float) -> bool:
+        """Clock-skew-tolerant staleness test on a lease/staging file.
+
+        A *near*-future mtime (less than one TTL ahead) is ordinary
+        skew between hosts sharing the cache — the lease is honored so
+        a live worker is not robbed early. A *far*-future mtime is as
+        untrustworthy as an expired one and is reclaimed immediately:
+        without that, a skewed writer's lease would never expire and a
+        dead worker could wedge the campaign forever.
+        """
+        age = _mtime_age(path, now)
+        if age is None:
+            return False
+        return age >= self.ttl or age <= -self.ttl
 
     def _poison_file(self, source: Path, reason: str,
                      cell: dict | None = None) -> None:
@@ -629,8 +663,7 @@ class WorkQueue:
         leased = self._dir(_LEASED)
         if leased.is_dir():
             for path in sorted(leased.glob("*.json")):
-                age = _mtime_age(path, now)
-                if age is None or age < self.ttl:
+                if not self._lease_stale(path, now):
                     continue
                 self._reclaim_one(path, stats)
         # A reclaimer killed mid-move leaves the cell in reclaiming/;
@@ -638,8 +671,7 @@ class WorkQueue:
         reclaiming = self._dir(_RECLAIMING)
         if reclaiming.is_dir():
             for path in sorted(reclaiming.iterdir()):
-                age = _mtime_age(path, now)
-                if age is None or age < self.ttl:
+                if not self._lease_stale(path, now):
                     continue
                 cell = _read_json(path)
                 if cell is None:
@@ -891,7 +923,13 @@ class WorkerReport:
 
 
 class _HeartbeatThread(threading.Thread):
-    """Renews the worker heartbeat + held leases every ``ttl / 3``.
+    """Renews the worker heartbeat + held leases every ``~ttl / 3``.
+
+    The renewal cadence carries deterministic per-worker jitter (a
+    factor in [0.6, 1.0) of ``ttl / 3``): a fleet started by one
+    orchestrator would otherwise fsync its heartbeats in lockstep
+    against the shared cache directory. Jittering *downward* keeps
+    every worker safely under the lease TTL.
 
     The ``heartbeat_stop`` fault freezes renewals permanently — the
     worker keeps executing, its leases go stale, and reclamation takes
@@ -904,7 +942,8 @@ class _HeartbeatThread(threading.Thread):
         super().__init__(daemon=True, name=f"heartbeat-{worker_id}")
         self.queues = queues
         self.worker_id = worker_id
-        self.interval = max(0.05, ttl / 3.0)
+        self.jitter = seeded_jitter(worker_id, "heartbeat", 0.6, 1.0)
+        self.interval = max(0.05, ttl / 3.0 * self.jitter)
         self.faults = faults
         self.stop_event = threading.Event()
         self.held: dict[str, tuple[Path, ...]] = {}
@@ -993,6 +1032,9 @@ def work_loop(root: str | Path | None = None,
     # coordinator's lease budget rather than their local default.
     worker_id = worker_id or \
         f"{socket.gethostname()}-{os.getpid()}"
+    # Desynchronize idle polls across the fleet (deterministically per
+    # worker) so N workers don't stat the queue directory in lockstep.
+    poll_jitter = seeded_jitter(worker_id, "idle-poll", 0.75, 1.25)
     report = WorkerReport(worker_id=worker_id)
     metrics = TELEMETRY.metrics
     queues: dict[str, WorkQueue] = {}
@@ -1013,9 +1055,11 @@ def work_loop(root: str | Path | None = None,
                     queue = WorkQueue(path, ttl=ttl)
                     queues[path.name] = queue
                     # Renew fast enough for the tightest lease TTL of
-                    # any campaign we are serving.
+                    # any campaign we are serving (keeping this
+                    # worker's deterministic jitter factor).
                     heart.interval = min(
-                        heart.interval, max(0.05, queue.ttl / 3.0))
+                        heart.interval,
+                        max(0.05, queue.ttl / 3.0 * heart.jitter))
                     queue.register_worker(worker_id)
                     report.campaigns.append(path.name)
                     emit(f"-- worker {worker_id}: joined campaign "
@@ -1030,7 +1074,7 @@ def work_loop(root: str | Path | None = None,
                         time.monotonic() - idle_since >= idle_exit_seconds:
                     report.reason = "no campaigns"
                     return report
-                time.sleep(poll_seconds)
+                time.sleep(poll_seconds * poll_jitter)
                 continue
             claimed = False
             for name, queue in list(queues.items()):
@@ -1053,7 +1097,7 @@ def work_loop(root: str | Path | None = None,
                         time.monotonic() - idle_since >= idle_exit_seconds:
                     report.reason = "idle"
                     return report
-                time.sleep(poll_seconds)
+                time.sleep(poll_seconds * poll_jitter)
     finally:
         heart.stop_event.set()
         heart.join(timeout=2 * heart.interval)

@@ -55,6 +55,22 @@ different ``attempt``). Kinds:
     worker keeps executing (exercises reclamation of live-but-presumed-
     dead workers and journal-level duplicate-completion dedup). Site is
     the worker id, attempt the renewal count.
+``server_crash``
+    the sweep server (``python -m repro serve``) ``os._exit``\\ s
+    between two cells of an accepted request — a simulated ``kill -9``
+    mid-campaign (exercises session-journal resume: a restarted server
+    re-runs accepted-but-unfinished requests and clients re-ask by
+    key). Site is ``<request-key>#<cell-index>``.
+``client_disconnect``
+    a :class:`~repro.experiments.client.ServeClient` drops its
+    connection right after sending a request (exercises the server
+    finishing and journaling work whose asker went away; the re-ask by
+    key finds the journaled answer). Site is the request key.
+``slow_tenant``
+    every cell of one tenant's requests sleeps ``sleep`` seconds
+    before running on the sweep server (exercises deficit-round-robin
+    fairness: the slow tenant must not starve the others). Site is the
+    tenant name, so the decision is per-tenant and constant.
 
 Recovery is observable: the supervised pool and the disk cache count
 ``resilience.retries``, ``resilience.pool_rebuilds``,
@@ -88,7 +104,9 @@ CHECKPOINT_NAME = "figures.journal"
 CHECKPOINT_SCHEMA = 1
 
 _FAULT_KINDS = frozenset({"worker_crash", "cell_timeout", "cache_corrupt",
-                          "worker_exit", "lease_stall", "heartbeat_stop"})
+                          "worker_exit", "lease_stall", "heartbeat_stop",
+                          "server_crash", "client_disconnect",
+                          "slow_tenant"})
 
 
 # ----------------------------------------------------------------------

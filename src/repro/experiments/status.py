@@ -141,6 +141,43 @@ def _queue_lines() -> list[str]:
     return lines
 
 
+def _serve_lines() -> list[str]:
+    """Sweep-server panel: session-journal requests/results by tenant.
+
+    Reads the serve journal the same torn-tail-tolerant way the server
+    does on restart; absent journal = no panel. Read-only."""
+    from .client import serve_root
+    from .server import SessionJournal
+    journal = SessionJournal(serve_root())
+    if not journal.path.exists():
+        return []
+    requests, results = journal.load()
+    pending = [key for key in requests if key not in results]
+    by_status: dict[str, int] = {}
+    for record in results.values():
+        status = str(record.get("status", "?"))
+        by_status[status] = by_status.get(status, 0) + 1
+    lines = [f"serve      : {len(results)} answered, "
+             f"{len(pending)} pending ({journal.path})"]
+    if by_status:
+        parts = [f"{count} {status}"
+                 for status, count in sorted(by_status.items())]
+        lines.append(f"  results  : {', '.join(parts)}")
+    tenants: dict[str, int] = {}
+    for record in requests.values():
+        tenant = str(record.get("tenant", "default"))
+        tenants[tenant] = tenants.get(tenant, 0) + 1
+    if tenants:
+        parts = [f"{name} ({count})"
+                 for name, count in sorted(tenants.items())]
+        lines.append(f"  tenants  : {', '.join(parts)}")
+    if pending:
+        lines.append(f"  pending  : {', '.join(sorted(pending)[:8])}"
+                     + (" ..." if len(pending) > 8 else "")
+                     + " — resumed on next serve start")
+    return lines
+
+
 def _registry_lines() -> list[str]:
     from ..telemetry.registry import RunRegistry
     registry = RunRegistry()
@@ -181,6 +218,7 @@ def render_status(checkpoint: str | Path | None = None) -> str:
          + time.strftime("%Y-%m-%d %H:%M:%S")],
         _campaign_lines(checkpoint),
         _queue_lines(),
+        _serve_lines(),
         _cache_lines(),
         _registry_lines(),
     ]

@@ -114,11 +114,27 @@ def summarize_manifest(manifest: dict, kind: str = "run") -> dict:
     return record
 
 
-class RunRegistry:
-    """Seq-ordered JSONL store of run records under one directory."""
+class LockTimeout(OSError):
+    """The registry lock stayed held past the acquisition budget."""
 
-    def __init__(self, root: str | Path | None = None) -> None:
+
+class RunRegistry:
+    """Seq-ordered JSONL store of run records under one directory.
+
+    ``lock_timeout`` bounds how long a writer waits for the exclusive
+    lock. The registry serves long-lived daemons (``repro serve``), so
+    a wedged appender on another host must not hang every other
+    writer forever: acquisition is a non-blocking retry loop, and on
+    timeout the write is *dropped* (counted in
+    ``registry.lock_timeouts``) rather than blocking the caller.
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 lock_timeout: float = 5.0,
+                 lock_poll: float = 0.05) -> None:
         self.root = Path(root) if root is not None else registry_dir()
+        self.lock_timeout = lock_timeout
+        self.lock_poll = lock_poll
 
     @property
     def runs_path(self) -> Path:
@@ -129,15 +145,39 @@ class RunRegistry:
     # ------------------------------------------------------------------
 
     def _locked(self):
-        """Exclusive advisory lock context over the registry."""
+        """Exclusive advisory lock context over the registry.
+
+        Bounded: raises :class:`LockTimeout` (after counting
+        ``registry.lock_timeouts`` and emitting an event) when the
+        lock cannot be taken within ``lock_timeout`` seconds.
+        """
         import fcntl
+        import time
         from contextlib import contextmanager
 
         @contextmanager
         def hold():
             self.root.mkdir(parents=True, exist_ok=True)
             with open(self.root / LOCK_NAME, "a+") as handle:
-                fcntl.flock(handle, fcntl.LOCK_EX)
+                deadline = time.monotonic() + max(self.lock_timeout, 0.0)
+                while True:
+                    try:
+                        fcntl.flock(handle,
+                                    fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            TELEMETRY.metrics.counter(
+                                "registry.lock_timeouts").inc()
+                            TELEMETRY.events.emit(
+                                "registry.lock_timeout",
+                                root=str(self.root),
+                                timeout_seconds=self.lock_timeout)
+                            raise LockTimeout(
+                                f"registry lock {self.root / LOCK_NAME} "
+                                f"held past {self.lock_timeout:g}s; "
+                                "dropping the write") from None
+                        time.sleep(self.lock_poll)
                 try:
                     yield
                 finally:
@@ -163,23 +203,30 @@ class RunRegistry:
         if not TELEMETRY.enabled:
             return None
         record = dict(record)
-        with self._locked():
-            seq = self._max_seq_unlocked() + 1
-            record["seq"] = seq
-            if manifest_path is not None:
-                record["manifest_path"] = str(manifest_path)
-            elif manifest is not None:
-                copy = self.root / f"manifest-{seq}.json"
-                copy.write_text(
-                    json.dumps(manifest, indent=2, default=str) + "\n",
-                    encoding="utf-8")
-                record["manifest_path"] = str(copy)
-                self._prune_manifests_unlocked()
-            line = json.dumps(record, sort_keys=True, default=str)
-            with open(self.runs_path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+        try:
+            with self._locked():
+                seq = self._max_seq_unlocked() + 1
+                record["seq"] = seq
+                if manifest_path is not None:
+                    record["manifest_path"] = str(manifest_path)
+                elif manifest is not None:
+                    copy = self.root / f"manifest-{seq}.json"
+                    copy.write_text(
+                        json.dumps(manifest, indent=2,
+                                   default=str) + "\n",
+                        encoding="utf-8")
+                    record["manifest_path"] = str(copy)
+                    self._prune_manifests_unlocked()
+                line = json.dumps(record, sort_keys=True, default=str)
+                with open(self.runs_path, "a",
+                          encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except LockTimeout:
+            # A wedged appender elsewhere must not hang this process;
+            # one dropped summary record is the cheaper failure.
+            return None
         return record
 
     def _max_seq_unlocked(self) -> int:
@@ -259,22 +306,25 @@ class RunRegistry:
         """
         if not self.runs_path.exists():
             return 0
-        with self._locked():
-            records = self._read_unlocked()
-            excess = len(records) - max_records
-            if excess <= 0:
-                return 0
-            kept = records[excess:]
-            tmp = self.runs_path.with_name(
-                f"{RUNS_NAME}.tmp{os.getpid()}")
-            with open(tmp, "w", encoding="utf-8") as handle:
-                for record in kept:
-                    handle.write(json.dumps(record, sort_keys=True,
-                                            default=str) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, self.runs_path)
-            return excess
+        try:
+            with self._locked():
+                records = self._read_unlocked()
+                excess = len(records) - max_records
+                if excess <= 0:
+                    return 0
+                kept = records[excess:]
+                tmp = self.runs_path.with_name(
+                    f"{RUNS_NAME}.tmp{os.getpid()}")
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    for record in kept:
+                        handle.write(json.dumps(record, sort_keys=True,
+                                                default=str) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self.runs_path)
+                return excess
+        except LockTimeout:
+            return 0
 
     def usage(self) -> dict:
         """Entry count and byte total (for ``cache usage`` reporting)."""

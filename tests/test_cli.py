@@ -179,3 +179,48 @@ def test_cache_verify_flags_corruption(capsys):
     captured = capsys.readouterr()
     assert "1 checksum mismatches" in captured.out
     assert "quarantine" in captured.err
+
+
+# -- sweep-server commands ---------------------------------------------
+
+
+def test_serve_parser_defaults_and_overrides():
+    args = build_parser().parse_args(["serve"])
+    assert args.socket is None and args.tcp is None
+    assert args.tenant_rate == 2.0 and args.tenant_burst == 8.0
+    assert args.max_inflight == 16 and args.quantum == 4.0
+    assert args.drain_grace == 30.0 and args.default_deadline is None
+    args = build_parser().parse_args(
+        ["serve", "--tcp", "127.0.0.1:0", "--jobs", "4",
+         "--tenant-rate", "0.5", "--tenant-burst", "2",
+         "--max-inflight", "3", "--quantum", "8",
+         "--drain-grace", "5", "--default-deadline", "60"])
+    assert args.tcp == "127.0.0.1:0" and args.jobs == 4
+    assert args.tenant_rate == 0.5 and args.tenant_burst == 2.0
+    assert args.max_inflight == 3 and args.quantum == 8.0
+    assert args.drain_grace == 5.0 and args.default_deadline == 60.0
+
+
+def test_query_parser_round_trip():
+    args = build_parser().parse_args(
+        ["query", "fig5", "--tcp", "127.0.0.1:7000", "--tenant",
+         "alice", "--key", "k-1", "--full", "--deadline", "30",
+         "--timeout", "5"])
+    assert args.name == "fig5" and args.tenant == "alice"
+    assert args.key == "k-1" and args.full
+    assert args.deadline == 30.0 and args.timeout == 5.0
+    args = build_parser().parse_args(["query", "--probe", "status"])
+    assert args.name is None and args.probe == "status"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["query", "--probe", "bogus"])
+
+
+def test_query_without_figure_or_probe_errors(capsys):
+    assert main(["query"]) == 1
+    assert "name a figure" in capsys.readouterr().err
+
+
+def test_query_against_no_server_reports_unavailable(capsys):
+    assert main(["query", "table1", "--tcp", "127.0.0.1:1",
+                 "--timeout", "0.2"]) == 1
+    assert "no sweep server" in capsys.readouterr().err

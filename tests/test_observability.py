@@ -21,8 +21,10 @@ from repro.telemetry.export import (
     write_manifest,
 )
 from repro.telemetry.registry import (
+    LOCK_NAME,
     MANIFEST_KEEP,
     REGISTRY_DIR_ENV,
+    LockTimeout,
     RunRegistry,
     registry_dir,
     summarize_manifest,
@@ -97,6 +99,35 @@ def test_registry_keeps_newest_manifest_copies(tmp_path):
                     key=RunRegistry._manifest_seq)
     assert len(copies) == MANIFEST_KEEP
     assert RunRegistry._manifest_seq(copies[-1]) == MANIFEST_KEEP + 3
+
+
+def test_registry_lock_timeout_drops_the_write_not_the_process(tmp_path):
+    """A wedged appender elsewhere must bound, not block, this writer:
+    the record is dropped, counted, and the next append succeeds."""
+    import fcntl
+    telemetry.enable()
+    telemetry.reset()
+    registry = RunRegistry(tmp_path / "reg", lock_timeout=0.2,
+                           lock_poll=0.02)
+    assert registry.append(_record())["seq"] == 1
+    holder = open(tmp_path / "reg" / LOCK_NAME, "a+")
+    try:
+        fcntl.flock(holder, fcntl.LOCK_EX)  # the wedged "other host"
+        start = time.monotonic()
+        assert registry.append(_record()) is None
+        assert registry.prune(max_records=0) == 0
+        assert time.monotonic() - start < 5.0  # bounded, both paths
+        with pytest.raises(LockTimeout):
+            with registry._locked():
+                pass
+    finally:
+        fcntl.flock(holder, fcntl.LOCK_UN)
+        holder.close()
+    snapshot = TELEMETRY.metrics.snapshot()
+    assert snapshot.get("registry.lock_timeouts", 0) >= 3
+    # Reads never needed the lock; writes recover once it frees up.
+    assert [r["seq"] for r in registry.records()] == [1]
+    assert registry.append(_record())["seq"] == 2
 
 
 def test_registry_dir_resolution(tmp_path, monkeypatch):
@@ -305,6 +336,25 @@ def test_status_renders_all_three_sections(tmp_path):
     assert "registry   : 1 records" in text
     assert "seq 1 [run] run chaos" in text
     assert "75.0% hit rate" in text
+
+
+def test_status_renders_serve_panel_from_the_session_journal(tmp_path):
+    from repro.experiments.client import serve_root
+    from repro.experiments.server import SessionJournal
+    journal = SessionJournal(serve_root())
+    journal.append({"type": "request", "key": "answered-1",
+                    "tenant": "alice",
+                    "spec": {"type": "bench", "cells": 1}})
+    journal.append({"type": "result", "key": "answered-1",
+                    "tenant": "alice", "status": "ok"})
+    journal.append({"type": "request", "key": "pending-1",
+                    "tenant": "bob",
+                    "spec": {"type": "bench", "cells": 1}})
+    text = render_status(checkpoint=tmp_path / "journal")
+    assert "serve      : 1 answered, 1 pending" in text
+    assert "alice (1)" in text and "bob (1)" in text
+    assert "pending-1" in text
+    assert "resumed on next serve start" in text
 
 
 def test_status_is_read_only_when_disabled(tmp_path):

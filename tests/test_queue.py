@@ -21,6 +21,7 @@ from repro.experiments.queue import (
     DEFAULT_TTL,
     QueueExecutor,
     WorkQueue,
+    _HeartbeatThread,
     campaign_id,
     decode_result,
     discover_campaigns,
@@ -29,6 +30,7 @@ from repro.experiments.queue import (
     queue_root,
     queue_usage,
     resolve_fn,
+    seeded_jitter,
     sweep_queues,
     work_loop,
 )
@@ -293,6 +295,82 @@ def test_unreadable_cell_spec_is_poisoned_on_claim(tmp_path):
         "{not json", encoding="utf-8")
     assert queue.claim("w1") is None
     assert queue.counts()["poison"] == 1
+
+
+# ----------------------------------------------------------------------
+# Clock skew: future mtimes on leases and heartbeats
+# ----------------------------------------------------------------------
+
+def test_near_future_lease_is_not_reclaimed_early(tmp_path):
+    """A lease half a TTL *ahead* of the reclaimer's clock is ordinary
+    inter-host skew: the live worker keeps its cell."""
+    queue = _queue(tmp_path, ttl=4.0)
+    queue.publish(_cells(1))
+    claim = queue.claim("skewed")
+    _backdate(claim.leased_path, -2.0)
+    assert queue.reclaim_expired()["reclaimed"] == 0
+    assert queue.counts()["leased"] == 1
+
+
+def test_far_future_lease_is_reclaimed_not_wedged(tmp_path):
+    """A lease many TTLs in the future can never age out naturally —
+    it must be treated as stale now, or the campaign wedges forever."""
+    queue = _queue(tmp_path, ttl=1.0)
+    queue.publish(_cells(1))
+    claim = queue.claim("time-traveler")
+    _backdate(claim.leased_path, -10.0)
+    assert queue.reclaim_expired()["reclaimed"] == 1
+    assert queue.counts()["pending"] == 1
+    reclaimed = queue.claim("w2")
+    assert reclaimed is not None
+    assert reclaimed.generation == 1
+
+
+def test_far_future_reclaiming_entry_heals(tmp_path):
+    queue = _queue(tmp_path, ttl=1.0)
+    cell = _cells(1)[0]
+    staging = queue.directory / "reclaiming" / f"{cell['cell']}.999"
+    staging.write_text(json.dumps(cell), encoding="utf-8")
+    _backdate(staging, -10.0)
+    assert queue.reclaim_expired()["healed"] == 1
+    assert queue.counts()["pending"] == 1
+
+
+def test_far_future_heartbeat_does_not_read_as_live(tmp_path):
+    queue = _queue(tmp_path, ttl=5.0)
+    queue.register_worker("near")
+    queue.register_worker("far")
+    _backdate(queue.directory / "heartbeats" / "near.json", -2.0)
+    _backdate(queue.directory / "heartbeats" / "far.json", -50.0)
+    live = queue.live_workers()
+    assert "near" in live                 # within one TTL of skew
+    assert "far" not in live              # not "live forever"
+    assert "far" in queue.worker_ages()   # still listed for operators
+
+
+# ----------------------------------------------------------------------
+# Deterministic worker jitter (heartbeats + idle polls)
+# ----------------------------------------------------------------------
+
+def test_seeded_jitter_is_deterministic_bounded_and_spread():
+    first = seeded_jitter("worker-1", "heartbeat", 0.6, 1.0)
+    assert first == seeded_jitter("worker-1", "heartbeat", 0.6, 1.0)
+    assert 0.6 <= first < 1.0
+    fleet = {seeded_jitter(f"worker-{i}", "heartbeat", 0.6, 1.0)
+             for i in range(16)}
+    assert len(fleet) == 16               # the herd does not thunder
+    assert seeded_jitter("worker-1", "idle-poll", 0.75, 1.25) != first
+
+
+def test_heartbeat_interval_carries_per_worker_jitter():
+    a = _HeartbeatThread({}, "w-a", 30.0, FaultPlan())
+    b = _HeartbeatThread({}, "w-b", 30.0, FaultPlan())
+    expected = max(0.05, 30.0 / 3.0
+                   * seeded_jitter("w-a", "heartbeat", 0.6, 1.0))
+    assert a.interval == expected
+    assert a.interval != b.interval
+    # Jitter points *downward* so renewals never outrun the TTL.
+    assert 0.6 * 10.0 <= a.interval <= 10.0
 
 
 # ----------------------------------------------------------------------
