@@ -7,7 +7,9 @@ below half of its checked-in baseline throughput, so a change that
 quietly de-vectorizes a hot loop or de-fuses the burst emitter cannot
 land unnoticed. Every stage is read from the telemetry gauge the
 production pipeline updates (``sim.instructions_per_second`` for the
-simulator stages, ``guest.instructions_per_second`` for emission).
+simulator stages, ``guest.instructions_per_second`` for emission,
+``trace.codec.bytes_per_second`` for the columnar trace codec's
+encode and decode paths).
 
 Refresh the baselines on the target machine with one command:
 
@@ -45,10 +47,20 @@ def _guest_gauge() -> float:
         "guest.instructions_per_second{runtime=cpython}", 0.0)
 
 
-def _measure(repeats: int = 3) -> dict:
-    """Best observed throughput per gated stage, instructions/second."""
+def _codec_gauge(op: str) -> float:
+    return TELEMETRY.metrics.snapshot().get(
+        f"trace.codec.bytes_per_second{{op={op}}}", 0.0)
+
+
+def _measure(repeats: int = 3, scratch: Path | None = None) -> dict:
+    """Best observed throughput per gated stage, instructions/second
+    (canonical bytes/second for the ``trace.codec.*`` stages)."""
+    import tempfile
+
     from repro.experiments.diskcache import DiskCache
-    best = {"guest": 0.0, "sim.memory_side": 0.0, "sim.core.ooo": 0.0}
+    from repro.host.trace import InstructionTrace
+    best = {"guest": 0.0, "sim.memory_side": 0.0, "sim.core.ooo": 0.0,
+            "trace.codec.encode": 0.0, "trace.codec.decode": 0.0}
     handle = None
     for _ in range(repeats):
         # A fresh cache-bypassing runner per repeat: the gauge is only
@@ -68,11 +80,23 @@ def _measure(repeats: int = 3) -> dict:
             handle.trace, [config], [state])
         best["sim.core.ooo"] = max(best["sim.core.ooo"],
                                    _gauge("core.ooo"))
+    with tempfile.TemporaryDirectory(dir=scratch) as tmp:
+        path = Path(tmp) / "trace.rpt"
+        for _ in range(repeats):
+            handle.trace.save(path, codec="v2")
+            best["trace.codec.encode"] = max(
+                best["trace.codec.encode"], _codec_gauge("encode"))
+        for _ in range(repeats):
+            loaded = InstructionTrace.load(path)
+            loaded.arrays()
+            loaded.close()
+            best["trace.codec.decode"] = max(
+                best["trace.codec.decode"], _codec_gauge("decode"))
     return {"instructions": len(handle.trace), "best": best}
 
 
-def test_simulation_throughput_gates():
-    measured = _measure()
+def test_simulation_throughput_gates(tmp_path):
+    measured = _measure(scratch=tmp_path)
     instructions = measured["instructions"]
     best = measured["best"]
     for stage, value in best.items():
@@ -95,7 +119,8 @@ def test_simulation_throughput_gates():
     for stage, value in best.items():
         base = baseline[stage]["instructions_per_second"]
         floor = base * GATE_FRACTION
-        lines.append(f"{stage:16s}: {value:,.0f} instr/s "
+        unit = "B/s" if stage.startswith("trace.codec") else "instr/s"
+        lines.append(f"{stage:18s}: {value:,.0f} {unit} "
                      f"(baseline {base:,.0f}, gate >= {floor:,.0f})")
         if value < floor:
             failures.append(

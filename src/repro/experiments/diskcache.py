@@ -8,10 +8,16 @@ used to re-interpret every evicted guest. This module spills both
 artifact kinds to disk:
 
 ``traces/``
-    one finished guest run per entry: the instruction trace as an
-    uncompressed ``.npz`` plus a JSON sidecar with the
-    :class:`~repro.experiments.runner.RunHandle` metadata (VM stats,
-    site table, captured output, measured window).
+    one finished guest run per entry: the instruction trace as a
+    compressed columnar ``.rpt`` file (:mod:`repro.host.codec`; or a
+    compressed ``.npz`` under ``REPRO_TRACE_CODEC=npz``) plus a JSON
+    sidecar with the :class:`~repro.experiments.runner.RunHandle`
+    metadata (VM stats, site table, captured output, measured window).
+    Loads sniff the payload format, so caches written under either
+    codec — or by older schema-2 writers — read transparently; hits on
+    legacy-schema entries are *lazily migrated*: re-stored under the
+    current key and format, the old files deleted
+    (``cache.migrated``).
 
 ``states/``
     one :class:`~repro.uarch.system.MemorySideState` per entry: service
@@ -27,13 +33,14 @@ beyond "bump the schema when the serialized layout changes" and
 "delete the directory when the simulator's behavior changes".
 
 **Durability and self-healing.** Each file is written to a per-process
-temporary name and renamed into place, the ``.npz`` is written *first*,
-and the JSON sidecar — which carries the ``.npz``'s SHA-256 — is
-written *last*: the sidecar is the commit record for the pair. A
-SIGKILL at any point therefore leaves either a complete entry or an
-``.npz`` orphan, which the next load deletes and treats as a miss.
+temporary name and renamed into place, the payload is written *first*,
+and the JSON sidecar — which carries the payload's SHA-256 (field name
+``npz_sha256`` for historical compatibility, whatever the payload
+format) — is written *last*: the sidecar is the commit record for the
+pair. A SIGKILL at any point therefore leaves either a complete entry
+or a payload orphan, which the next load deletes and treats as a miss.
 Entries that fail integrity checks on load (unparseable sidecar,
-checksum mismatch, truncated/undecodable ``.npz``) are *quarantined* —
+checksum mismatch, truncated/undecodable payload) are *quarantined* —
 moved to ``quarantine/`` for post-mortems, never silently retried
 forever — counted as ``cache.quarantined``, and recomputed. Stale
 ``.tmp*`` litter from killed writers is swept by :meth:`sweep_tmp`,
@@ -67,6 +74,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..host import codec as tracecodec
 from ..host.trace import InstructionTrace
 from ..telemetry import TELEMETRY
 from ..uarch.branch import BranchStats
@@ -75,8 +83,17 @@ from ..uarch.system import MemorySideState
 from .resilience import FaultPlan
 
 #: Bump when the on-disk layout (or anything it captures) changes shape.
-#: 2: sidecars carry the paired ``.npz``'s SHA-256 (``npz_sha256``).
-CACHE_SCHEMA = 2
+#: 2: sidecars carry the paired payload's SHA-256 (``npz_sha256``).
+#: 3: trace payloads use the v2 columnar codec (``.rpt``) by default;
+#:    sidecars record ``payload_format`` and the trace ``rows``.
+CACHE_SCHEMA = 3
+
+#: Older schemas whose keys are probed on a miss (read-compat): a hit
+#: under a legacy key is migrated to the current key and format.
+LEGACY_SCHEMAS = (2,)
+
+#: Payload extensions, probe order (v2 codec first, legacy npz second).
+_PAYLOAD_EXTS = (".rpt", ".npz")
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_TOGGLE_ENV = "REPRO_CACHE"
@@ -116,9 +133,15 @@ def verify_enabled() -> bool:
     return toggle not in _OFF_VALUES
 
 
-def content_key(params: dict) -> str:
-    """SHA-256 over the canonical JSON of ``params`` plus the schema."""
-    payload = json.dumps({"schema": CACHE_SCHEMA, **params},
+def content_key(params: dict, schema: int | None = None) -> str:
+    """SHA-256 over the canonical JSON of ``params`` plus the schema.
+
+    ``schema`` defaults to the current layout; loads pass the entries
+    of :data:`LEGACY_SCHEMAS` to probe for migratable old entries.
+    """
+    if schema is None:
+        schema = CACHE_SCHEMA
+    payload = json.dumps({"schema": schema, **params},
                          sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -182,9 +205,34 @@ class DiskCache:
     def enabled(self) -> bool:
         return self.root is not None
 
+    def _payload_ext(self, kind: str) -> str:
+        """Extension new payloads of ``kind`` are written with."""
+        if kind == "traces" and tracecodec.trace_codec() == "v2":
+            return ".rpt"
+        return ".npz"
+
     def _paths(self, kind: str, key: str) -> tuple[Path, Path]:
+        """(payload path for a *new* store, sidecar path)."""
         directory = self.root / kind
-        return directory / f"{key}.npz", directory / f"{key}.json"
+        return (directory / f"{key}{self._payload_ext(kind)}",
+                directory / f"{key}.json")
+
+    def _find_payload(self, kind: str, key: str) -> Path | None:
+        """The existing payload for an entry, whatever its format."""
+        directory = self.root / kind
+        for ext in _PAYLOAD_EXTS:
+            path = directory / f"{key}{ext}"
+            if path.exists():
+                return path
+        return None
+
+    def _entry_files(self, kind: str, key: str) -> list[Path]:
+        """Every file that may belong to one entry (both payload
+        formats plus the sidecar)."""
+        directory = self.root / kind
+        files = [directory / f"{key}{ext}" for ext in _PAYLOAD_EXTS]
+        files.append(directory / f"{key}.json")
+        return files
 
     # ------------------------------------------------------------------
     # Integrity: orphans, quarantine, verification
@@ -201,7 +249,7 @@ class DiskCache:
             return False
         quarantine = self.root / QUARANTINE_DIR
         moved = False
-        for path in self._paths(kind, key):
+        for path in self._entry_files(kind, key):
             if not path.exists():
                 continue
             target = quarantine / f"{kind}-{path.name}"
@@ -233,16 +281,19 @@ class DiskCache:
         except OSError:
             pass
 
-    def _load_sidecar(self, kind: str, key: str) -> dict | None:
+    def _load_sidecar(self, kind: str,
+                      key: str) -> tuple[dict, Path] | None:
         """Read and validate the commit record; heal what it finds.
 
-        No sidecar + an ``.npz`` means a writer died between the two
-        writes: the orphan is deleted and the entry is a miss.
+        Returns ``(meta, payload_path)`` on a committed entry. No
+        sidecar + a payload means a writer died between the two writes:
+        the orphan is deleted and the entry is a miss.
         """
-        npz_path, meta_path = self._paths(kind, key)
+        payload = self._find_payload(kind, key)
+        meta_path = self.root / kind / f"{key}.json"
         if not meta_path.exists():
-            if npz_path.exists():
-                self._drop_orphan(kind, npz_path)
+            if payload is not None:
+                self._drop_orphan(kind, payload)
             return None
         try:
             with open(meta_path, "r", encoding="utf-8") as handle:
@@ -253,18 +304,18 @@ class DiskCache:
         if not isinstance(meta, dict):
             self.quarantine(kind, key)
             return None
-        if not npz_path.exists():
-            # Sidecar without payload (quarantined npz, manual delete).
+        if payload is None:
+            # Sidecar without payload (quarantined file, manual delete).
             self._drop_orphan(kind, meta_path)
             return None
         if verify_enabled():
             want = meta.get("npz_sha256")
-            if want is None or file_sha256(npz_path) != want:
+            if want is None or file_sha256(payload) != want:
                 TELEMETRY.metrics.counter("cache.checksum_mismatch",
                                           kind=kind).inc()
                 self.quarantine(kind, key)
                 return None
-        return meta
+        return meta, payload
 
     def _touch(self, kind: str, key: str) -> None:
         """Refresh the sidecar mtime: :meth:`gc` evicts LRU by it."""
@@ -305,40 +356,84 @@ class DiskCache:
     # Guest runs
     # ------------------------------------------------------------------
 
-    def load_run(self, key: str):
+    def _delete_entry(self, kind: str, key: str) -> None:
+        """Remove an entry, sidecar (the commit record) first."""
+        files = self._entry_files(kind, key)
+        for path in [files[-1]] + files[:-1]:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def load_run(self, key: str, key_params: dict | None = None):
         """Rebuild a RunHandle from disk (None on miss or corruption).
 
         The returned handle carries ``token=0``; the runner assigns a
-        fresh token when it adopts the handle into its caches.
+        fresh token when it adopts the handle into its caches. When
+        ``key_params`` is given, a miss also probes the legacy-schema
+        keys and migrates any hit to the current key and payload
+        format (deleting the old entry).
         """
         if not self.enabled:
             return None
+        handle = self._load_run_at(key)
+        if handle is not None or key_params is None:
+            return handle
+        for schema in LEGACY_SCHEMAS:
+            legacy_key = content_key(key_params, schema=schema)
+            handle = self._load_run_at(legacy_key)
+            if handle is None:
+                continue
+            self.store_run(key, handle, key_params=key_params)
+            self._delete_entry("traces", legacy_key)
+            TELEMETRY.metrics.counter("cache.migrated",
+                                      kind="traces").inc()
+            return handle
+        return None
+
+    def _load_run_at(self, key: str):
         from .runner import RunHandle
-        npz_path, _ = self._paths("traces", key)
-        meta = self._load_sidecar("traces", key)
-        if meta is None:
+        loaded = self._load_sidecar("traces", key)
+        if loaded is None:
             return None
+        meta, payload = loaded
         meta.pop("npz_sha256", None)
         meta.pop("key_params", None)
+        meta.pop("payload_format", None)
+        meta.pop("rows", None)
         try:
-            trace = InstructionTrace.load(npz_path)
+            if tracecodec.sniff(payload) == "v2":
+                # Reader-backed lazy trace; late decode failures (e.g.
+                # with REPRO_CACHE_VERIFY=off) still quarantine first.
+                reader = tracecodec.FrameReader(
+                    payload,
+                    on_corrupt=lambda: self.quarantine("traces", key))
+                trace = InstructionTrace._from_reader(reader)
+            else:
+                trace = InstructionTrace.load(payload)
             meta["site_table"] = {name: int(pc) for name, pc
                                   in meta.get("site_table", {}).items()}
             handle = RunHandle(trace=trace, token=0, **meta)
         except Exception:
-            # Undecodable npz / sidecar shaped wrong for RunHandle: any
-            # parse failure means the entry is corrupt, not the caller.
+            # Undecodable payload / sidecar shaped wrong for RunHandle:
+            # any parse failure means the entry is corrupt, not the
+            # caller.
             self.quarantine("traces", key)
             return None
         self._touch("traces", key)
+        TELEMETRY.metrics.counter("cache.decode_hits",
+                                  kind="traces").inc()
         return handle
 
     def store_run(self, key: str, handle,
                   key_params: dict | None = None) -> None:
         if not self.enabled:
             return
-        npz_path, meta_path = self._paths("traces", key)
+        payload_path, meta_path = self._paths("traces", key)
+        fmt = tracecodec.trace_codec()
         meta = {
+            "payload_format": fmt,
+            "rows": len(handle.trace),
             "workload": handle.workload,
             "runtime": handle.runtime,
             "jit": handle.jit,
@@ -363,28 +458,70 @@ class DiskCache:
             # across the hosts sharing this cache.
             meta["key_params"] = key_params
         try:
-            npz_path.parent.mkdir(parents=True, exist_ok=True)
+            payload_path.parent.mkdir(parents=True, exist_ok=True)
+            # v2 writes columnar frames; the npz codec now compresses
+            # too (store cost is paid once, reads dominate).
             _atomic_write(
-                npz_path,
-                lambda tmp: handle.trace.save(tmp, compressed=False))
-            self._finish_store("traces", key, npz_path, meta_path, meta)
+                payload_path,
+                lambda tmp: handle.trace.save(tmp, codec=fmt))
+            self._finish_store("traces", key, payload_path, meta_path,
+                               meta)
+            self._drop_sibling_payload("traces", key, payload_path)
+            TELEMETRY.metrics.counter("cache.encode_bytes",
+                                      kind="traces").inc(
+                payload_path.stat().st_size)
+            if not self.fault_plan \
+                    or self.fault_plan.spec("cache_corrupt") is None:
+                # The committed file now holds exactly this trace's
+                # bytes: fan-out can pickle the handle by reference.
+                handle.trace.attach_cache_ref(payload_path)
         except OSError:
             # A full/readonly disk must not kill the run that computed
             # the artifact; the entry simply stays a miss.
             TELEMETRY.metrics.counter("cache.write_errors",
                                       kind="traces").inc()
 
+    def _drop_sibling_payload(self, kind: str, key: str,
+                              payload_path: Path) -> None:
+        """Remove the other-format payload after a re-store, so stale
+        bytes can never shadow the sidecar's checksum."""
+        for ext in _PAYLOAD_EXTS:
+            sibling = payload_path.with_suffix(ext)
+            if sibling != payload_path:
+                try:
+                    sibling.unlink(missing_ok=True)
+                except OSError:
+                    pass
+
     # ------------------------------------------------------------------
     # Memory-side states
     # ------------------------------------------------------------------
 
-    def load_state(self, key: str) -> MemorySideState | None:
+    def load_state(self, key: str,
+                   key_params: dict | None = None,
+                   ) -> MemorySideState | None:
         if not self.enabled:
             return None
-        npz_path, _ = self._paths("states", key)
-        meta = self._load_sidecar("states", key)
-        if meta is None:
+        state = self._load_state_at(key)
+        if state is not None or key_params is None:
+            return state
+        for schema in LEGACY_SCHEMAS:
+            legacy_key = content_key(key_params, schema=schema)
+            state = self._load_state_at(legacy_key)
+            if state is None:
+                continue
+            self.store_state(key, state, key_params=key_params)
+            self._delete_entry("states", legacy_key)
+            TELEMETRY.metrics.counter("cache.migrated",
+                                      kind="states").inc()
+            return state
+        return None
+
+    def _load_state_at(self, key: str) -> MemorySideState | None:
+        loaded = self._load_sidecar("states", key)
+        if loaded is None:
             return None
+        meta, npz_path = loaded
         try:
             with np.load(npz_path) as data:
                 arrays = {name: data[name] for name in _STATE_ARRAYS}
@@ -402,6 +539,8 @@ class DiskCache:
             self.quarantine("states", key)
             return None
         self._touch("states", key)
+        TELEMETRY.metrics.counter("cache.decode_hits",
+                                  kind="states").inc()
         return state
 
     def store_state(self, key: str, state: MemorySideState,
@@ -537,18 +676,21 @@ class DiskCache:
             if not directory.is_dir():
                 continue
             sidecars = {p.stem: p for p in directory.glob("*.json")}
-            payloads = {p.stem: p for p in directory.glob("*.npz")}
+            payloads: dict[str, Path] = {}
+            for ext in _PAYLOAD_EXTS:
+                for path in directory.glob(f"*{ext}"):
+                    payloads.setdefault(path.stem, path)
             for stem, path in payloads.items():
                 if stem not in sidecars:
                     self._drop_orphan(kind, path)
             for stem, meta_path in sorted(sidecars.items()):
-                npz_path = payloads.get(stem)
-                if npz_path is None:
+                payload_path = payloads.get(stem)
+                if payload_path is None:
                     self._drop_orphan(kind, meta_path)
                     continue
                 try:
                     size = meta_path.stat().st_size \
-                        + npz_path.stat().st_size
+                        + payload_path.stat().st_size
                     mtime = meta_path.stat().st_mtime
                 except OSError:
                     continue
@@ -588,11 +730,14 @@ class DiskCache:
             entries = picked
         for kind, key in entries:
             stats["checked"] += 1
-            npz_path, meta_path = self._paths(kind, key)
+            meta_path = self.root / kind / f"{key}.json"
+            payload_path = self._find_payload(kind, key)
             try:
                 with open(meta_path, "r", encoding="utf-8") as handle:
                     meta = json.load(handle)
-                actual = file_sha256(npz_path)
+                if payload_path is None:
+                    raise OSError("payload missing")
+                actual = file_sha256(payload_path)
             except (OSError, ValueError, UnicodeDecodeError):
                 stats["checksum_mismatches"] += 1
                 self.quarantine(kind, key)
@@ -609,7 +754,11 @@ class DiskCache:
                 stats["unkeyed"] += 1
                 stats["ok"] += 1
                 continue
-            if content_key(key_params) != key:
+            # A not-yet-migrated legacy entry legitimately carries a
+            # legacy-schema key; only a key no schema derives is wrong.
+            schemas = (CACHE_SCHEMA,) + LEGACY_SCHEMAS
+            if all(content_key(key_params, schema=s) != key
+                   for s in schemas):
                 stats["key_mismatches"] += 1
                 TELEMETRY.metrics.counter("cache.key_mismatch",
                                           kind=kind).inc()
@@ -660,16 +809,10 @@ class DiskCache:
             if total <= max_bytes:
                 stats["kept_entries"] += 1
                 continue
-            npz_path, meta_path = self._paths(kind, key)
-            try:
-                # Sidecar (the commit record) goes first: a crash
-                # mid-eviction leaves an orphan npz, not a valid-looking
-                # sidecar pointing at nothing.
-                meta_path.unlink(missing_ok=True)
-                npz_path.unlink(missing_ok=True)
-            except OSError:
-                stats["kept_entries"] += 1
-                continue
+            # Sidecar (the commit record) goes first: a crash
+            # mid-eviction leaves an orphan payload, not a
+            # valid-looking sidecar pointing at nothing.
+            self._delete_entry(kind, key)
             total -= size
             stats["evicted"] += 1
             stats["bytes_freed"] += size
@@ -687,19 +830,48 @@ class DiskCache:
             return usage
         for kind in _KINDS:
             count = size = 0
+            payload_bytes = rows = 0
+            formats: dict[str, int] = {}
             directory = self.root / kind
             if directory.is_dir():
                 for meta_path in directory.glob("*.json"):
-                    npz_path = meta_path.with_suffix(".npz")
-                    if not npz_path.exists():
+                    payload_path = self._find_payload(kind,
+                                                      meta_path.stem)
+                    if payload_path is None:
                         continue
                     count += 1
                     try:
-                        size += meta_path.stat().st_size \
-                            + npz_path.stat().st_size
+                        pbytes = payload_path.stat().st_size
+                        size += meta_path.stat().st_size + pbytes
                     except OSError:
                         continue
+                    if kind != "traces":
+                        continue
+                    payload_bytes += pbytes
+                    try:
+                        meta = json.loads(
+                            meta_path.read_text(encoding="utf-8"))
+                        rows += int(meta.get("rows", 0))
+                        fmt = meta.get(
+                            "payload_format",
+                            "npz" if payload_path.suffix == ".npz"
+                            else "v2")
+                    except (OSError, ValueError, TypeError):
+                        fmt = "unknown"
+                    formats[fmt] = formats.get(fmt, 0) + 1
             usage[kind] = {"entries": count, "bytes": size}
+            if kind == "traces":
+                # Codec footprint: payload bytes per traced
+                # instruction, and the shrink vs the canonical 35 B/row
+                # columnar layout the consumers decode into.
+                usage[kind]["payload_bytes"] = payload_bytes
+                usage[kind]["rows"] = rows
+                usage[kind]["formats"] = formats
+                if payload_bytes and rows:
+                    usage[kind]["bytes_per_instruction"] = \
+                        payload_bytes / rows
+                    usage[kind]["compression_ratio"] = \
+                        rows * tracecodec.RAW_ROW_BYTES / payload_bytes
             usage["entries"] += count
             usage["bytes"] += size
         spill_dir = self.root / SPILL_DIR

@@ -209,9 +209,10 @@ class ExperimentRunner:
             self._traces.move_to_end(key)
             metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
             return handle
-        disk_key = content_key(self._trace_key_params(*key[:4],
-                                                      warmup_runs))
-        cached = self.disk_cache.load_run(disk_key)
+        trace_params = self._trace_key_params(*key[:4], warmup_runs)
+        disk_key = content_key(trace_params)
+        cached = self.disk_cache.load_run(disk_key,
+                                          key_params=trace_params)
         if cached is not None:
             metrics.counter("runner.trace_cache.hit", runtime=runtime).inc()
             metrics.counter("runner.disk_cache.hit", kind="trace").inc()
@@ -340,8 +341,10 @@ class ExperimentRunner:
             self._states.move_to_end(key)
             metrics.counter("runner.state_cache.hit").inc()
             return state
-        disk_key = content_key(self._state_key_params(handle, config))
-        state = self.disk_cache.load_state(disk_key)
+        state_params = self._state_key_params(handle, config)
+        disk_key = content_key(state_params)
+        state = self.disk_cache.load_state(disk_key,
+                                           key_params=state_params)
         if state is not None and len(state.dlevel) != len(handle.trace):
             # Checksums catch bit rot, not a state that parses cleanly
             # but belongs to a different-length trace (e.g. a cache dir

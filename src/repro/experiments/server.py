@@ -6,7 +6,12 @@ JSON, see :mod:`~repro.experiments.client` for the protocol), warm
 queries are answered straight from the content-addressed disk cache in
 milliseconds, and cold cells run through the same
 :func:`~repro.experiments.parallel.fan_out` path every other driver
-uses. Robustness is the design center:
+uses. Warm trace hits come back as lazily decoded mmap-backed frames
+(:mod:`repro.host.codec`): the runner's loads never materialize the
+full row-major buffer, each sweep touches only the columns and row
+ranges it consumes, and concurrent tenants hitting the same trace
+share the encoded bytes through the page cache. Robustness is the
+design center:
 
 **Admission control.** Each tenant owns a token bucket (``rate``
 tokens/second up to ``burst``); a request that finds the bucket empty

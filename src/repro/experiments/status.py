@@ -86,6 +86,15 @@ def _cache_lines() -> list[str]:
         if block:
             lines.append(f"  {kind:9s}: {block['entries']} entries, "
                          f"{_fmt_bytes(block['bytes'])}")
+    traces = usage.get("traces") or {}
+    if traces.get("rows"):
+        formats = ", ".join(
+            f"{count} {fmt}" for fmt, count
+            in sorted(traces.get("formats", {}).items()))
+        lines.append(
+            f"  codec    : {formats}; "
+            f"{traces['bytes_per_instruction']:.2f} B/instr, "
+            f"{traces['compression_ratio']:.1f}x vs canonical")
     spill = usage.get("spill")
     if spill and spill["entries"]:
         lines.append(f"  spill    : {spill['entries']} live files, "
@@ -207,7 +216,8 @@ def _registry_lines() -> list[str]:
                      f"{int(rebuilds)} pool rebuilds")
     gauges = last.get("gauges", {}) or {}
     for name, value in sorted(gauges.items()):
-        lines.append(f"  {name}: {value:,.0f} instr/s")
+        unit = "B/s" if "bytes_per_second" in name else "instr/s"
+        lines.append(f"  {name}: {value:,.0f} {unit}")
     return lines
 
 

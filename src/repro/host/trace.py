@@ -43,6 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import TraceError
+from . import codec as _codec
 
 _COLUMNS = ("pc", "kind", "category", "addr", "size", "dep", "flags",
             "origin")
@@ -51,6 +52,9 @@ _COLUMNS = ("pc", "kind", "category", "addr", "size", "dep", "flags",
 #: ``array`` typecodes the original implementation used).
 _TYPECODES = ("q", "b", "b", "q", "i", "i", "b", "q")
 _DTYPES = tuple(np.dtype(code) for code in _TYPECODES)
+
+# The codec owns the persisted format; the column schemas must agree.
+assert _COLUMNS == _codec.COLUMNS and _DTYPES == _codec.DTYPES
 
 #: Initial committed-buffer capacity in rows. 128K rows (8 MB) covers
 #: small-to-medium traces outright, so most runs never pay a growth
@@ -116,12 +120,21 @@ class InstructionTrace:
         self._spill_path: Path | None = None
         self._frozen: dict[str, np.ndarray] | None = None
         self._frozen_len = -1
+        #: Lazy v2 reader backing this trace (see :meth:`_from_reader`).
+        self._reader: _codec.FrameReader | None = None
+        self._col_cache: dict[str, np.ndarray] = {}
+        #: On-disk file known to hold exactly this trace's bytes; when
+        #: live, pickling ships the path instead of the arrays.
+        self._ref_path: Path | None = None
+        self._ref_rows = -1
 
     # ------------------------------------------------------------------
     # Length and synchronization
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
+        if self._reader is not None:
+            return self._reader.rows
         n = self._n + len(self._stage[0])
         flusher = self._flusher
         if flusher is not None:
@@ -264,7 +277,10 @@ class InstructionTrace:
         return self._spill_path
 
     def close(self) -> None:
-        """Release the backing spill file, if any."""
+        """Release the backing spill file and/or reader mapping."""
+        reader = self._reader
+        if reader is not None:
+            reader.close()
         path = self._spill_path
         if path is None:
             return
@@ -290,15 +306,77 @@ class InstructionTrace:
     # Pickling (cross-process fan-out)
     # ------------------------------------------------------------------
 
+    def attach_cache_ref(self, path: str | Path) -> None:
+        """Record that ``path`` holds exactly this trace's bytes.
+
+        The disk cache calls this after a store or load; from then on
+        pickling this trace (fan-out IPC) ships the path instead of
+        the arrays, as long as the trace has not grown since and the
+        file still exists. Receivers re-open the file — for v2 payloads
+        that is a lazy mmap, so N same-host workers share one set of
+        page-cache bytes instead of deserializing N private copies.
+        """
+        self._ref_path = Path(path)
+        self._ref_rows = len(self)
+
+    def _pickle_ref(self) -> Path | None:
+        path = self._ref_path
+        if path is None or self._ref_rows != len(self):
+            return None
+        if not path.exists():
+            return None
+        return path
+
+    def _materialize(self) -> None:
+        """Pull a reader-backed trace fully into memory (drops the
+        reader). Used when the backing file may not outlive a pickle."""
+        reader = self._reader
+        if reader is None:
+            return
+        arrays = {name: self.column(name) for name in _COLUMNS}
+        count = reader.rows
+        self._reader = None
+        self._col_cache = {}
+        self._buf = np.zeros((max(count, 1), 8), dtype=np.int64)
+        self._n = count
+        for j, name in enumerate(_COLUMNS):
+            self._buf[:count, j] = arrays[name]
+        self._frozen = None
+        self._frozen_len = -1
+
     def __getstate__(self) -> dict:
         # Drain staging and the burst queue first — the flusher holds
         # the (unpicklable) compiled kernel and its queues are
-        # meaningless in another process. The receiving side gets a
-        # self-contained, flusher-less trace.
+        # meaningless in another process.
         self._sync()
+        ref = self._pickle_ref()
+        if ref is not None:
+            from ..telemetry import TELEMETRY
+            TELEMETRY.metrics.counter("trace.pickle_refs").inc()
+            return {"_pickle_ref": str(ref), "_pickle_rows": len(self)}
+        if self._reader is not None:
+            self._materialize()
         state = self.__dict__.copy()
         state["_flusher"] = None
+        state["_reader"] = None
+        state["_col_cache"] = {}
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        ref = state.get("_pickle_ref")
+        if ref is None:
+            self.__dict__.update(state)
+            return
+        # By-reference pickle: re-open the cache/trace file. If it was
+        # evicted in flight this raises TraceError, which the supervised
+        # fan-out treats like any worker failure and recomputes.
+        loaded = type(self).load(ref)
+        if len(loaded) != state["_pickle_rows"]:
+            raise TraceError(
+                f"trace reference {ref} holds {len(loaded)} rows, "
+                f"expected {state['_pickle_rows']} (file changed "
+                "between pickle and unpickle)")
+        self.__dict__.update(loaded.__dict__)
 
     # ------------------------------------------------------------------
     # Freeze
@@ -327,6 +405,13 @@ class InstructionTrace:
         views so reading a 100M-row trace does not materialize it.
         """
         self._sync()
+        reader = self._reader
+        if reader is not None:
+            if self._frozen is None:
+                self._frozen = {name: self.column(name)
+                                for name in _COLUMNS}
+                self._frozen_len = reader.rows
+            return self._frozen
         if self._frozen is None or self._frozen_len != self._n:
             self._frozen_len = self._n
             n = self._n
@@ -345,6 +430,15 @@ class InstructionTrace:
     def column(self, name: str) -> np.ndarray:
         if name not in _COLUMNS:
             raise TraceError(f"unknown trace column: {name!r}")
+        reader = self._reader
+        if reader is not None and self._frozen is None:
+            # Per-column lazy decode: a consumer that only needs
+            # ``category`` never pays for the pc/addr varint streams.
+            cached = self._col_cache.get(name)
+            if cached is None:
+                cached = reader.column(name)
+                self._col_cache[name] = cached
+            return cached
         return self.arrays()[name]
 
     def category_counts(self) -> np.ndarray:
@@ -353,15 +447,36 @@ class InstructionTrace:
             return np.zeros(32, dtype=np.int64)
         return np.bincount(self.column("category"), minlength=32)
 
-    def save(self, path: str | Path, compressed: bool = True) -> None:
-        """Persist the trace to an ``.npz`` file.
+    def _block(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        """Canonical-dtype columns for rows ``[start, stop)`` read
+        straight from the committed buffer — one frame's worth at a
+        time, so encoding a spilled trace streams through the memmap
+        without materializing full columns."""
+        buf = self._buf
+        return {name: np.ascontiguousarray(buf[start:stop, j],
+                                           dtype=dtype)
+                for j, (name, dtype) in
+                enumerate(zip(_COLUMNS, _DTYPES))}
 
-        ``compressed=False`` trades disk for speed — the disk cache uses
-        it because traces are written once and re-read many times, and
-        deflate dominates the store cost on multi-megabyte traces.
-        Columns are always cast to the canonical dtypes, so the bytes on
-        disk are identical whether or not the trace spilled.
+    def save(self, path: str | Path, compressed: bool = True,
+             codec: str | None = None) -> None:
+        """Persist the trace: v2 columnar frames or a legacy ``.npz``.
+
+        ``codec`` overrides the ``REPRO_TRACE_CODEC`` switch; in the
+        npz format ``compressed=False`` trades disk for speed. Columns
+        are always cast to the canonical dtypes, so the bytes on disk
+        are identical whether or not the trace spilled.
         """
+        fmt = codec if codec is not None else _codec.trace_codec()
+        if fmt == "v2":
+            self._sync()
+            reader = self._reader
+            if reader is not None and self._frozen is None:
+                _codec.encode_file(path, reader.decode_range,
+                                   reader.rows)
+            else:
+                _codec.encode_file(path, self._block, len(self))
+            return
         arrays = self.arrays()
         canonical = {
             name: np.ascontiguousarray(arrays[name], dtype=dtype)
@@ -372,12 +487,55 @@ class InstructionTrace:
             saver(handle, **canonical)
 
     @classmethod
+    def _from_reader(cls, reader: "_codec.FrameReader",
+                     ) -> "InstructionTrace":
+        """A sealed trace lazily backed by an encoded file — columns
+        and row ranges decode on demand; the full ``(n, 8)`` row-major
+        buffer is never materialized."""
+        trace = cls.__new__(cls)
+        trace._buf = np.zeros((0, 8), dtype=np.int64)
+        trace._n = 0
+        trace._stage = tuple(array(code) for code in _TYPECODES)
+        trace._flusher = None
+        trace._sealed = True
+        trace._spill_bytes = None
+        trace._spill_path = None
+        trace._frozen = None
+        trace._frozen_len = -1
+        trace._reader = reader
+        trace._col_cache = {}
+        trace._ref_path = Path(reader.path)
+        trace._ref_rows = reader.rows
+        return trace
+
+    @classmethod
     def load(cls, path: str | Path) -> "InstructionTrace":
-        """Load a trace previously stored with :meth:`save`."""
-        data = np.load(Path(path))
-        missing = [name for name in _COLUMNS if name not in data]
-        if missing:
-            raise TraceError(f"trace file missing columns: {missing}")
+        """Load a trace stored with :meth:`save` (either format).
+
+        The format is sniffed from magic bytes, never the extension.
+        v2 files come back reader-backed (lazy); npz files are
+        validated loudly — a missing *or* unexpected column set raises
+        a :class:`TraceError` naming the offending path — and loaded
+        eagerly.
+        """
+        path = Path(path)
+        if _codec.sniff(path) == "v2":
+            return cls._from_reader(_codec.FrameReader(path))
+        try:
+            data = np.load(path)
+        except (OSError, ValueError) as exc:
+            raise TraceError(
+                f"unreadable trace file {path}: {exc!r}") from exc
+        files = getattr(data, "files", None)
+        if files is None:
+            raise TraceError(
+                f"trace file {path} is not a columnar archive")
+        missing = [name for name in _COLUMNS if name not in files]
+        extra = [name for name in files if name not in _COLUMNS]
+        if missing or extra:
+            raise TraceError(
+                f"trace file {path} has wrong column set: "
+                f"missing {missing}, unexpected {extra}")
         trace = cls()
         count = int(data[_COLUMNS[0]].shape[0])
         if count:
@@ -385,13 +543,21 @@ class InstructionTrace:
             buf = trace._buf
             for j, name in enumerate(_COLUMNS):
                 buf[start:start + count, j] = data[name]
+        trace.attach_cache_ref(path)
         return trace
 
     def slice_view(self, start: int, stop: int) -> dict[str, np.ndarray]:
-        """Read-only view of rows ``[start, stop)`` as numpy arrays."""
+        """Read-only view of rows ``[start, stop)`` as numpy arrays.
+
+        On a reader-backed (v2-loaded) trace this decodes only the
+        frames covering the range — block-mapped access, never the
+        whole file.
+        """
         if not (0 <= start <= stop <= len(self)):
             raise TraceError(
                 f"slice [{start}, {stop}) out of range for trace of "
                 f"length {len(self)}")
+        if self._reader is not None and self._frozen is None:
+            return self._reader.decode_range(start, stop)
         return {name: arr[start:stop]
                 for name, arr in self.arrays().items()}

@@ -173,8 +173,9 @@ def test_cache_verify_command(capsys):
 
 def test_cache_verify_flags_corruption(capsys):
     cache = _warm_cache()
-    npz = next((cache.root / "traces").glob("*.npz"))
-    npz.write_bytes(npz.read_bytes()[:-5])
+    payload = next(p for p in (cache.root / "traces").iterdir()
+                   if p.suffix in (".rpt", ".npz"))
+    payload.write_bytes(payload.read_bytes()[:-5])
     assert main(["cache", "verify"]) == 1
     captured = capsys.readouterr()
     assert "1 checksum mismatches" in captured.out

@@ -1,0 +1,452 @@
+"""Columnar trace codec: round trips, laziness, corruption, identity.
+
+Covers the v2 frame format end to end — varint/zigzag/delta
+primitives, kernel-vs-NumPy bit parity, property round-trips over
+random and adversarial column contents, lazy reader-backed loads,
+pickle-by-reference fan-out, and figure byte-identity across the
+``REPRO_TRACE_CODEC`` switch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.experiments.diskcache import DiskCache
+from repro.experiments.runner import ExperimentRunner
+from repro.host import _codec_kernel, codec
+from repro.host.trace import InstructionTrace
+
+
+def _random_arrays(rng, n):
+    return {
+        "pc": rng.integers(0, 1 << 48, n, dtype=np.int64),
+        "kind": rng.integers(0, 12, n, dtype=np.int8),
+        "category": rng.integers(0, 24, n, dtype=np.int8),
+        "addr": rng.integers(-(2 ** 63), 2 ** 63 - 1, n,
+                             dtype=np.int64),
+        "size": rng.integers(0, 2 ** 31 - 1, n, dtype=np.int32),
+        "dep": rng.integers(0, 1 << 16, n, dtype=np.int32),
+        "flags": rng.integers(0, 8, n, dtype=np.int8),
+        "origin": rng.integers(0, 1 << 40, n, dtype=np.int64),
+    }
+
+
+def _assert_arrays_equal(want, got):
+    for name, column in want.items():
+        assert np.array_equal(column, got[name]), name
+        assert got[name].dtype == codec.DTYPES[
+            codec.COLUMNS.index(name)], name
+
+
+def _trace_from_arrays(arrays):
+    trace = InstructionTrace()
+    n = len(arrays["pc"])
+    if n:
+        start = trace.alloc_rows(n)
+        buf = trace.buffer()
+        for j, name in enumerate(codec.COLUMNS):
+            buf[start:start + n, j] = arrays[name]
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Varint / zigzag primitives
+# ----------------------------------------------------------------------
+
+
+def test_varint_roundtrip_covers_every_length_boundary():
+    values = [0, 1, 127, 128]
+    for k in range(1, 10):
+        edge = 1 << (7 * k)
+        values += [edge - 1, edge, edge + 1]
+    values.append(2 ** 64 - 1)
+    u = np.array(values, dtype=np.uint64)
+    buf = codec._varint_encode_numpy(u)
+    back = codec._varint_decode_numpy(buf, u.size)
+    assert np.array_equal(u, back)
+
+
+def test_varint_decode_rejects_truncation_and_trailing_bytes():
+    u = np.array([300, 5, 2 ** 40], dtype=np.uint64)
+    buf = codec._varint_encode_numpy(u)
+    with pytest.raises(TraceError):
+        codec._varint_decode_numpy(buf[:-1], u.size)
+    with pytest.raises(TraceError):
+        codec._varint_decode_numpy(
+            np.concatenate([buf, np.array([7], dtype=np.uint8)]),
+            u.size)
+    with pytest.raises(TraceError):
+        codec._varint_decode_numpy(buf, u.size + 1)
+
+
+def test_varint_decode_rejects_overlong_values():
+    # Eleven continuation bytes: no 64-bit varint is that long.
+    bad = np.array([0x80] * 11 + [0x01], dtype=np.uint8)
+    with pytest.raises(TraceError):
+        codec._varint_decode_numpy(bad, 1)
+
+
+def test_zigzag_is_involutive_at_the_int64_extremes():
+    v = np.array([0, -1, 1, 2 ** 63 - 1, -(2 ** 63)], dtype=np.int64)
+    u = v.view(np.uint64)
+    assert np.array_equal(
+        codec._unzigzag(codec._zigzag(u)).view(np.int64), v)
+
+
+def test_kernel_matches_numpy_bit_for_bit():
+    kernel = _codec_kernel.get_kernel()
+    if kernel is None:
+        pytest.skip("no C compiler available")
+    rng = np.random.default_rng(7)
+    exponents = rng.integers(0, 64, 4096)
+    u = (rng.integers(0, 2 ** 63, 4096, dtype=np.int64)
+         .astype(np.uint64) >> exponents.astype(np.uint64))
+    reference = codec._varint_encode_numpy(u)
+    out = np.empty(u.size * 10, dtype=np.uint8)
+    written = kernel.encode(np.ascontiguousarray(u), out)
+    assert np.array_equal(out[:written], reference)
+    decoded = np.empty(u.size, dtype=np.uint64)
+    consumed = kernel.decode(np.ascontiguousarray(reference), decoded)
+    assert consumed == reference.size
+    assert np.array_equal(decoded, u)
+    # Malformed input: the kernel reports, never over-reads.
+    assert kernel.decode(reference[:-1].copy(), decoded) == -1
+
+
+def test_kernel_env_switch_disables(monkeypatch):
+    monkeypatch.setenv(_codec_kernel.KERNEL_ENV, "off")
+    assert _codec_kernel.get_kernel() is None
+
+
+# ----------------------------------------------------------------------
+# File round trips (property + edge cases)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 1023, 70_000])
+def test_encode_arrays_roundtrip(tmp_path, n):
+    rng = np.random.default_rng(n)
+    arrays = _random_arrays(rng, n)
+    path = tmp_path / "trace.rpt"
+    codec.encode_arrays(path, arrays)
+    reader = codec.FrameReader(path)
+    assert reader.rows == n
+    _assert_arrays_equal(arrays, {name: reader.column(name)
+                                  for name in codec.COLUMNS})
+
+
+def test_multi_frame_roundtrip_and_range_decode(tmp_path):
+    rng = np.random.default_rng(3)
+    arrays = _random_arrays(rng, 1000)
+    path = tmp_path / "trace.rpt"
+    codec.encode_arrays(path, arrays, frame_rows=64)
+    reader = codec.FrameReader(path)
+    for start, stop in [(0, 1000), (0, 0), (63, 65), (64, 128),
+                        (999, 1000), (130, 900)]:
+        window = reader.decode_range(start, stop)
+        _assert_arrays_equal(
+            {name: column[start:stop]
+             for name, column in arrays.items()}, window)
+    with pytest.raises(TraceError):
+        reader.decode_range(500, 1001)
+
+
+def test_extreme_addresses_roundtrip(tmp_path):
+    # Max-magnitude int64 values stress the mod-2^64 delta arithmetic.
+    n = 64
+    arrays = _random_arrays(np.random.default_rng(0), n)
+    arrays["addr"] = np.array(
+        [2 ** 63 - 1, -(2 ** 63), 0, -1] * (n // 4), dtype=np.int64)
+    arrays["pc"] = np.array(
+        [0, 2 ** 63 - 1] * (n // 2), dtype=np.int64)
+    path = tmp_path / "trace.rpt"
+    codec.encode_arrays(path, arrays, frame_rows=7)
+    reader = codec.FrameReader(path)
+    _assert_arrays_equal(arrays, {name: reader.column(name)
+                                  for name in codec.COLUMNS})
+
+
+def test_numpy_and_kernel_encodings_are_identical(tmp_path,
+                                                  monkeypatch):
+    if _codec_kernel.get_kernel() is None:
+        pytest.skip("no C compiler available")
+    arrays = _random_arrays(np.random.default_rng(11), 10_000)
+    with_kernel = tmp_path / "kernel.rpt"
+    codec.encode_arrays(with_kernel, arrays)
+    monkeypatch.setenv(_codec_kernel.KERNEL_ENV, "off")
+    without = tmp_path / "numpy.rpt"
+    codec.encode_arrays(without, arrays)
+    assert with_kernel.read_bytes() == without.read_bytes()
+
+
+def test_frozen_trace_roundtrip_through_save_load(tmp_path):
+    trace = InstructionTrace()
+    for i in range(3000):
+        trace.append(i * 4, 1, i % 5, addr=0x1000 + 8 * i, size=8,
+                     dep=i % 3, flags=i % 2, origin=i)
+    trace.freeze()
+    path = tmp_path / "frozen.rpt"
+    trace.save(path, codec="v2")
+    loaded = InstructionTrace.load(path)
+    assert loaded.frozen
+    _assert_arrays_equal(trace.arrays(), loaded.arrays())
+
+
+def test_spilled_trace_saves_identically(tmp_path, monkeypatch):
+    rng = np.random.default_rng(5)
+    arrays = _random_arrays(rng, 200_000)
+    in_memory = _trace_from_arrays(arrays)
+    monkeypatch.setenv("REPRO_TRACE_SPILL_MB", "1")
+    spilled = _trace_from_arrays(arrays)
+    assert spilled.spill_path is not None, "trace did not spill"
+    a = tmp_path / "memory.rpt"
+    b = tmp_path / "spilled.rpt"
+    in_memory.save(a, codec="v2")
+    spilled.save(b, codec="v2")
+    assert a.read_bytes() == b.read_bytes()
+    spilled.close()
+
+
+def test_v2_and_npz_loads_agree(tmp_path):
+    arrays = _random_arrays(np.random.default_rng(9), 5000)
+    trace = _trace_from_arrays(arrays)
+    v2 = tmp_path / "t.rpt"
+    npz = tmp_path / "t.npz"
+    trace.save(v2, codec="v2")
+    trace.save(npz, codec="npz")
+    assert v2.stat().st_size < npz.stat().st_size * 1.5
+    _assert_arrays_equal(InstructionTrace.load(npz).arrays(),
+                         InstructionTrace.load(v2).arrays())
+
+
+# ----------------------------------------------------------------------
+# Corruption and validation
+# ----------------------------------------------------------------------
+
+
+def _encoded_file(tmp_path, n=500, frame_rows=64):
+    arrays = _random_arrays(np.random.default_rng(1), n)
+    path = tmp_path / "t.rpt"
+    codec.encode_arrays(path, arrays, frame_rows=frame_rows)
+    return path
+
+
+def test_truncated_file_is_rejected(tmp_path):
+    path = _encoded_file(tmp_path)
+    data = path.read_bytes()
+    for cut in (0, 3, 10, len(data) // 2, len(data) - 1):
+        path.write_bytes(data[:cut])
+        with pytest.raises(TraceError):
+            codec.FrameReader(path)
+
+
+def test_truncated_frame_segment_is_rejected_lazily(tmp_path):
+    path = _encoded_file(tmp_path)
+    data = bytearray(path.read_bytes())
+    # Zero a span in the middle of the payload region: the directory
+    # still parses, but some frame's varint stream is now garbage.
+    magic, version, meta_off, meta_len = struct.unpack_from(
+        "<4sIQQ", data)
+    start = 24 + (meta_off - 24) // 3
+    data[start:start + 64] = bytes(64)
+    path.write_bytes(bytes(data))
+    reader = codec.FrameReader(path)  # header+directory still valid
+    with pytest.raises(TraceError):
+        for name in codec.COLUMNS:
+            reader.column(name)
+
+
+def test_corrupt_decode_fires_on_corrupt_callback_once(tmp_path):
+    path = _encoded_file(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[30:200] = bytes(170)
+    path.write_bytes(bytes(data))
+    fired = []
+    reader = codec.FrameReader(path, on_corrupt=lambda: fired.append(1))
+    for name in codec.COLUMNS:
+        try:
+            reader.column(name)
+        except TraceError:
+            pass
+    assert fired == [1]
+
+
+def test_wrong_column_set_is_rejected_loudly(tmp_path):
+    path = _encoded_file(tmp_path, n=10, frame_rows=16)
+    data = bytearray(path.read_bytes())
+    _, _, meta_off, meta_len = struct.unpack_from("<4sIQQ", data)
+    meta = json.loads(bytes(data[meta_off:meta_off + meta_len]))
+    meta["columns"] = ["pc", "bogus"] + meta["columns"][2:]
+    blob = json.dumps(meta, separators=(",", ":")).encode()
+    data = data[:meta_off] + blob
+    struct.pack_into("<4sIQQ", data, 0, codec.MAGIC, codec.VERSION,
+                     meta_off, len(blob))
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceError) as err:
+        codec.FrameReader(path)
+    assert "kind" in str(err.value)  # the missing column is named
+    assert "bogus" in str(err.value)  # ... and so is the unexpected one
+    assert str(path) in str(err.value)
+
+
+def test_npz_load_validates_columns_loudly(tmp_path):
+    arrays = _random_arrays(np.random.default_rng(2), 16)
+    missing = dict(arrays)
+    missing.pop("dep")
+    bad_missing = tmp_path / "missing.npz"
+    np.savez(bad_missing, **missing)
+    with pytest.raises(TraceError) as err:
+        InstructionTrace.load(bad_missing)
+    assert "dep" in str(err.value) and str(bad_missing) in str(err.value)
+    extra = dict(arrays, rogue=np.zeros(16, dtype=np.int64))
+    bad_extra = tmp_path / "extra.npz"
+    np.savez(bad_extra, **extra)
+    with pytest.raises(TraceError) as err:
+        InstructionTrace.load(bad_extra)
+    assert "rogue" in str(err.value)
+
+
+def test_unreadable_file_is_a_typed_error(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"this is not a trace in any format")
+    with pytest.raises(TraceError):
+        InstructionTrace.load(path)
+
+
+def test_codec_switch_resolution(monkeypatch):
+    monkeypatch.delenv(codec.CODEC_ENV, raising=False)
+    assert codec.trace_codec() == "v2"
+    monkeypatch.setenv(codec.CODEC_ENV, "v2")
+    assert codec.trace_codec() == "v2"
+    monkeypatch.setenv(codec.CODEC_ENV, "npz")
+    assert codec.trace_codec() == "npz"
+    monkeypatch.setenv(codec.CODEC_ENV, "zstd")
+    with pytest.raises(ConfigError):
+        codec.trace_codec()
+
+
+# ----------------------------------------------------------------------
+# Lazy loads and pickle-by-reference
+# ----------------------------------------------------------------------
+
+
+def test_v2_load_is_lazy_per_column(tmp_path):
+    path = _encoded_file(tmp_path, n=300, frame_rows=64)
+    trace = InstructionTrace.load(path)
+    assert trace._reader is not None
+    assert len(trace) == 300
+    trace.column("category")
+    assert set(trace._col_cache) == {"category"}
+    assert trace._frozen is None  # nothing else decoded
+    window = trace.slice_view(10, 20)
+    assert len(window["pc"]) == 10
+    assert trace._frozen is None
+    counts = trace.category_counts()
+    assert counts.sum() == 300
+
+
+def test_v2_loaded_trace_rejects_appends(tmp_path):
+    trace = InstructionTrace.load(_encoded_file(tmp_path))
+    with pytest.raises(TraceError):
+        trace.append(1, 1, 1)
+
+
+def test_pickle_by_reference_roundtrip(tmp_path):
+    path = _encoded_file(tmp_path, n=2000, frame_rows=512)
+    trace = InstructionTrace.load(path)
+    blob = pickle.dumps(trace)
+    assert len(blob) < 1024, "reference pickle should be tiny"
+    back = pickle.loads(blob)
+    _assert_arrays_equal(trace.arrays(), back.arrays())
+
+
+def test_pickle_falls_back_to_full_state_when_file_gone(tmp_path):
+    path = _encoded_file(tmp_path, n=1000)
+    trace = InstructionTrace.load(path)
+    want = {name: np.array(col) for name, col
+            in trace.arrays().items()}
+    os.unlink(path)
+    blob = pickle.dumps(trace)
+    assert len(blob) > 10_000  # full arrays travelled
+    back = pickle.loads(blob)
+    _assert_arrays_equal(want, back.arrays())
+
+
+def test_pickle_ref_ignored_after_mutation(tmp_path):
+    trace = InstructionTrace()
+    trace.append(1, 1, 1)
+    path = tmp_path / "t.rpt"
+    trace.save(path, codec="v2")
+    trace.attach_cache_ref(path)
+    trace.append(2, 2, 2)  # the file no longer matches the trace
+    back = pickle.loads(pickle.dumps(trace))
+    assert len(back) == 2
+    assert back.column("pc")[1] == 2
+
+
+def test_stale_reference_rows_fail_loudly(tmp_path):
+    path = _encoded_file(tmp_path, n=100, frame_rows=64)
+    trace = InstructionTrace.load(path)
+    blob = pickle.dumps(trace)
+    # The file is replaced with a different-length trace in flight.
+    arrays = _random_arrays(np.random.default_rng(4), 50)
+    codec.encode_arrays(path, arrays, frame_rows=64)
+    with pytest.raises(TraceError):
+        pickle.loads(blob)
+
+
+# ----------------------------------------------------------------------
+# Figure byte-identity across the codec switch
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("figure_name", ["fig4", "fig5"])
+def test_figures_identical_across_codecs(tmp_path, monkeypatch,
+                                         figure_name):
+    from repro.experiments import figures
+    figure = getattr(figures, figure_name)
+    rendered = {}
+    for fmt in ("auto", "v2", "npz"):
+        monkeypatch.setenv(codec.CODEC_ENV, fmt)
+        monkeypatch.setenv("REPRO_CACHE_DIR",
+                           str(tmp_path / f"cache-{fmt}"))
+        result = figure(ExperimentRunner(), quick=True)
+        rendered[fmt] = result.rendered
+        # Cold pass warmed the cache; a second, disk-served pass must
+        # render the same bytes through the codec's load path.
+        again = figure(ExperimentRunner(), quick=True)
+        assert again.rendered == result.rendered, fmt
+    assert rendered["auto"] == rendered["v2"] == rendered["npz"]
+
+
+def test_run_many_ships_trace_references(tmp_path):
+    runner = ExperimentRunner(disk_cache=DiskCache(tmp_path / "cache"))
+    requests = [
+        {"workload": "chaos", "runtime": "pypy", "jit": True,
+         "nursery": 64 * 1024},
+        {"workload": "nbody", "runtime": "pypy", "jit": True,
+         "nursery": 64 * 1024},
+    ]
+    handles = runner.run_many(requests, jobs=2)
+    assert len(handles) == 2
+    # The workers' handles crossed the pipe as file references: the
+    # parent re-opened them as lazily decoded readers over the shared
+    # cache files, not as privately deserialized buffers.
+    for handle in handles:
+        assert handle.trace._reader is not None
+        assert handle.trace._reader.path.parent \
+            == tmp_path / "cache" / "traces"
+    serial = ExperimentRunner(
+        disk_cache=DiskCache(tmp_path / "cache-serial"))
+    for request, handle in zip(requests, handles):
+        want = serial.run(**request)
+        for name, column in want.trace.arrays().items():
+            assert np.array_equal(column,
+                                  handle.trace.arrays()[name]), name

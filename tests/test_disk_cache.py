@@ -192,11 +192,12 @@ def _counter(prefix):
 
 
 def _entry_paths(tmp_path, kind):
-    """The single (npz, sidecar) pair under one kind directory."""
+    """The single (payload, sidecar) pair under one kind directory."""
     directory = tmp_path / "cache" / kind
-    (npz,) = directory.glob("*.npz")
+    (payload,) = [p for p in directory.iterdir()
+                  if p.suffix in (".rpt", ".npz")]
     (meta,) = directory.glob("*.json")
-    return npz, meta
+    return payload, meta
 
 
 def _quarantined_files(tmp_path):
@@ -379,8 +380,9 @@ def test_gc_evicts_least_recently_used_first(tmp_path):
     old = time.time() - 1000
     os.utime(sidecars[0], (old, old))  # make one entry cold
     hot = sidecars[1]
-    keep = hot.stat().st_size \
-        + hot.with_suffix(".npz").stat().st_size + 1024
+    (hot_payload,) = [hot.with_suffix(ext) for ext in (".rpt", ".npz")
+                      if hot.with_suffix(ext).exists()]
+    keep = hot.stat().st_size + hot_payload.stat().st_size + 1024
     stats = cache.gc(max_bytes=keep)
     assert stats["evicted"] == 1
     assert stats["kept_entries"] == 1
@@ -569,3 +571,113 @@ def test_verify_entries_disabled_cache_is_a_noop(tmp_path, monkeypatch):
     stats = DiskCache().verify_entries()
     assert stats["checked"] == 0
     assert stats["ok"] == 0
+
+
+# ----------------------------------------------------------------------
+# Codec era: legacy-schema migration, orphaned frames, footprint stats
+# ----------------------------------------------------------------------
+
+
+def test_legacy_schema_entry_is_migrated_on_hit(tmp_path, monkeypatch):
+    from repro import telemetry
+    from repro.experiments.diskcache import LEGACY_SCHEMAS
+    from repro.host.codec import CODEC_ENV
+
+    # Write the entry the way a schema-2 deployment did: npz payload,
+    # filed under the legacy content key.
+    monkeypatch.setenv(CODEC_ENV, "npz")
+    runner = fresh_runner(tmp_path)
+    original = runner.run(**_RUN)
+    cache = DiskCache(tmp_path / "cache")
+    params = runner._trace_key_params(
+        _RUN["workload"], _RUN["runtime"], _RUN["jit"], _RUN["nursery"],
+        0)
+    current_key = content_key(params)
+    legacy_key = content_key(params, schema=LEGACY_SCHEMAS[0])
+    payload, meta = _entry_paths(tmp_path, "traces")
+    assert payload.suffix == ".npz"
+    payload.rename(payload.with_stem(legacy_key))
+    meta.rename(meta.with_stem(legacy_key))
+
+    monkeypatch.delenv(CODEC_ENV, raising=False)
+    telemetry.enable()
+    telemetry.reset()
+    migrated = fresh_runner(tmp_path).run(**_RUN)
+    for name, column in original.trace.arrays().items():
+        assert np.array_equal(column, migrated.trace.arrays()[name])
+    assert _counter("cache.migrated{kind=traces}") == 1
+    # The entry now lives under the current key in the v2 format; the
+    # legacy files are gone.
+    new_payload, _ = _entry_paths(tmp_path, "traces")
+    assert new_payload.stem == current_key
+    assert new_payload.suffix == ".rpt"
+    # And the migrated entry verifies clean under the audit.
+    stats = cache.verify_entries()
+    assert stats["checksum_mismatches"] == 0
+    assert stats["key_mismatches"] == 0
+
+
+def test_gc_sweeps_orphaned_halfwritten_codec_frames(tmp_path):
+    from repro import telemetry
+    _populate_trace(tmp_path)
+    traces = tmp_path / "cache" / "traces"
+    # A killed encoder leaves two kinds of litter: an old atomic-write
+    # temp name, and a committed-looking payload whose sidecar (the
+    # commit record) never landed.
+    half_written = traces / "dead.rpt.tmp4242"
+    half_written.write_bytes(b"RPTC" + b"\x00" * 40)
+    old = time.time() - 7200
+    os.utime(half_written, (old, old))
+    orphan = traces / ("f" * 64 + ".rpt")
+    orphan.write_bytes(b"RPTC" + b"\x00" * 512)
+    telemetry.enable()
+    telemetry.reset()
+    stats = DiskCache(tmp_path / "cache").gc(max_bytes=1 << 40)
+    assert stats["tmp_removed"] == 1
+    assert not half_written.exists()
+    assert not orphan.exists()
+    assert _counter("cache.orphans_removed{kind=traces}") == 1
+    # The real entry survived.
+    payload, meta = _entry_paths(tmp_path, "traces")
+    assert payload.exists() and meta.exists()
+
+
+def test_usage_reports_codec_footprint(tmp_path):
+    _populate_trace(tmp_path)
+    usage = DiskCache(tmp_path / "cache").usage()
+    traces = usage["traces"]
+    assert traces["rows"] > 0
+    assert traces["payload_bytes"] > 0
+    assert traces["formats"] == {"v2": 1}
+    assert traces["bytes_per_instruction"] \
+        == traces["payload_bytes"] / traces["rows"]
+    # The whole point of the codec: well under the canonical 35 B/row.
+    assert traces["compression_ratio"] > 3.0
+
+
+def test_npz_codec_writes_compressed_entries(tmp_path, monkeypatch):
+    from repro.host.codec import CODEC_ENV, RAW_ROW_BYTES
+    monkeypatch.setenv(CODEC_ENV, "npz")
+    runner = fresh_runner(tmp_path)
+    handle = runner.run(**_RUN)
+    payload, _ = _entry_paths(tmp_path, "traces")
+    assert payload.suffix == ".npz"
+    # Legacy-format entries are no longer written uncompressed: the
+    # deflated npz undercuts the canonical raw bytes.
+    assert payload.stat().st_size \
+        < len(handle.trace) * RAW_ROW_BYTES * 0.9
+
+
+def test_mixed_format_cache_reads_transparently(tmp_path, monkeypatch):
+    from repro.host.codec import CODEC_ENV
+    monkeypatch.setenv(CODEC_ENV, "npz")
+    fresh_runner(tmp_path).run(**_RUN)
+    monkeypatch.delenv(CODEC_ENV, raising=False)
+    other = dict(_RUN, workload="nbody")
+    fresh_runner(tmp_path).run(**other)
+    usage = DiskCache(tmp_path / "cache").usage()
+    assert usage["traces"]["formats"] == {"npz": 1, "v2": 1}
+    reader = fresh_runner(tmp_path)
+    assert reader.run(**_RUN).output
+    assert reader.run(**other).output
+    assert _counter("cache.quarantined") == 0
